@@ -1,0 +1,47 @@
+"""Shared benchmark configuration.
+
+The benchmarks regenerate every table and figure of the paper's §6 at
+laptop scale (see DESIGN.md §3–4).  Each module prints its results in
+the paper's layout; EXPERIMENTS.md records the paper-vs-measured
+comparison.  Scale knobs live here so a beefier machine can turn them up
+towards paper scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.irie import GreedyIRIEAllocator
+from repro.algorithms.myopic import MyopicAllocator, MyopicPlusAllocator
+from repro.algorithms.tirm import TIRMAllocator
+
+#: Scale of the quality datasets (fraction of the paper's node counts).
+FLIXSTER_SCALE = 0.01
+EPINIONS_SCALE = 0.012
+#: Scale of the scalability datasets.
+DBLP_SCALE = 0.003
+LIVEJOURNAL_SCALE = 0.0005
+#: Monte-Carlo referee runs (paper: 10 000).
+EVAL_RUNS = 150
+#: RR-set cap per advertiser for TIRM benches.
+MAX_RR_SETS = 8_000
+
+
+def quality_allocators(seed: int = 0) -> dict:
+    """The four §6 algorithms with their quality-experiment settings."""
+    return {
+        "Myopic": MyopicAllocator(),
+        "Myopic+": MyopicPlusAllocator(),
+        "IRIE": GreedyIRIEAllocator(alpha=0.8),
+        "TIRM": TIRMAllocator(seed=seed, epsilon=0.1, max_rr_sets_per_ad=MAX_RR_SETS),
+    }
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Classic influence maximization with the TIM substrate.
+
+The RR-set machinery TIRM builds on is a complete influence-maximization
+stack in its own right (§5.1).  This example selects k seeds on a
+power-law network with TIM and verifies the estimated spread against
+Monte-Carlo simulation — then contrasts the TIM seeds with the IRIE
+heuristic's ranking.
+
+Run:  python examples/influence_maximization.py [--nodes 2000] [--k 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.algorithms.irie import influence_rank
+from repro.diffusion import estimate_spread
+from repro.evaluation.reporting import format_table
+from repro.graph import power_law_graph, weighted_cascade_probabilities
+from repro.rrset import TIMInfluenceMaximizer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=2_000)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--epsilon", type=float, default=0.2)
+    args = parser.parse_args()
+
+    graph = power_law_graph(args.nodes, avg_out_degree=8.0, seed=5)
+    probs = weighted_cascade_probabilities(graph)
+    print(f"graph: {graph} (weighted cascade)")
+
+    tim = TIMInfluenceMaximizer(
+        graph, probs, epsilon=args.epsilon, max_rr_sets=100_000, seed=1
+    )
+    result = tim.select(args.k)
+    mc = estimate_spread(graph, probs, result.seeds, num_runs=500, seed=2)
+    print(f"\nTIM: {result.num_rr_sets} RR-sets, "
+          f"estimated spread {result.estimated_spread:.1f}, "
+          f"Monte-Carlo check {mc.mean:.1f} ± {1.96 * mc.std_error:.1f}")
+
+    # Contrast with IRIE's static top-k (no marginal discounting).
+    rank = influence_rank(graph, probs, alpha=0.7)
+    irie_seeds = np.argsort(-rank)[: args.k].tolist()
+    irie_mc = estimate_spread(graph, probs, irie_seeds, num_runs=500, seed=3)
+
+    overlap = len(set(result.seeds) & set(irie_seeds))
+    print(format_table(
+        ["method", "MC spread", "overlap with TIM"],
+        [
+            ["TIM", mc.mean, args.k],
+            ["IRIE top-k", irie_mc.mean, overlap],
+        ],
+        title=f"\nSeed quality, k={args.k}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

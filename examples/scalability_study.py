@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scalability study (§6.2 / Fig. 6 style) on the DBLP-like network.
+
+Measures TIRM wall-clock time and memory as the number of advertisers
+grows, in the paper's fully competitive setting (identical ads, CTP =
+CPE = 1, weighted-cascade probabilities, κ = 1), and optionally compares
+with Greedy-IRIE (which the paper found orders of magnitude slower).
+
+Run:  python examples/scalability_study.py [--scale 0.003]
+      [--ads 1 2 4] [--with-irie]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import GreedyIRIEAllocator, TIRMAllocator
+from repro.datasets import dblp_like
+from repro.evaluation.reporting import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.003,
+                        help="fraction of DBLP's 317K nodes (default 0.003)")
+    parser.add_argument("--ads", type=int, nargs="+", default=[1, 2, 4],
+                        help="advertiser counts to sweep")
+    parser.add_argument("--with-irie", action="store_true",
+                        help="also time Greedy-IRIE (slow)")
+    parser.add_argument("--max-rr-sets", type=int, default=20_000)
+    args = parser.parse_args()
+
+    rows = []
+    for h in args.ads:
+        problem = dblp_like(scale=args.scale, num_ads=h, seed=13)
+        tirm = TIRMAllocator(
+            seed=0, epsilon=0.2, max_rr_sets_per_ad=args.max_rr_sets
+        )
+        result = tirm.allocate(problem)
+        row = [
+            h,
+            problem.num_nodes,
+            result.runtime_seconds,
+            result.allocation.total_seeds(),
+            result.stats["total_rr_sets"],
+            result.stats["rr_memory_bytes"] / 1e6,
+        ]
+        if args.with_irie:
+            irie_result = GreedyIRIEAllocator(alpha=0.7).allocate(problem)
+            row.append(irie_result.runtime_seconds)
+        rows.append(row)
+
+    headers = ["h", "n", "TIRM time (s)", "seeds", "RR-sets", "RR memory (MB)"]
+    if args.with_irie:
+        headers.append("IRIE time (s)")
+    print(format_table(headers, rows, title="TIRM scalability vs. number of advertisers"))
+    print("\nThe paper's Fig. 6 shape: TIRM grows ~linearly in h and stays")
+    print("~flat in per-ad budget; Greedy-IRIE grows superlinearly.")
+
+
+if __name__ == "__main__":
+    main()

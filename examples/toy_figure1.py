@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Reproduce Figure 1 and Examples 1–2 of the paper, exactly.
+
+Computes — by exact possible-world enumeration — the expected clicks and
+regrets of the two allocations the paper walks through on its six-node
+gadget, and compares them with the paper's (independence-approximated,
+rounded) numbers.
+
+Run:  python examples/toy_figure1.py
+"""
+
+from __future__ import annotations
+
+from repro.advertising.regret import allocation_regret
+from repro.datasets.toy import (
+    PAPER_EXPECTED_CLICKS_A,
+    PAPER_EXPECTED_CLICKS_B,
+    PAPER_REGRET_A_LAMBDA0,
+    PAPER_REGRET_A_LAMBDA01,
+    PAPER_REGRET_B_LAMBDA0,
+    PAPER_REGRET_B_LAMBDA01,
+    figure1_allocation_a,
+    figure1_allocation_b,
+    figure1_problem,
+)
+from repro.diffusion import exact_click_probabilities, exact_spread
+from repro.evaluation.reporting import format_table
+
+
+def main() -> None:
+    problem = figure1_problem()
+    allocations = {"A (myopic)": figure1_allocation_a(), "B (viral)": figure1_allocation_b()}
+
+    rows = []
+    revenue_vectors = {}
+    for name, allocation in allocations.items():
+        revenues = [
+            exact_spread(
+                problem.graph,
+                problem.ad_edge_probabilities(ad),
+                allocation.seed_array(ad),
+                ctps=problem.ad_ctps(ad),
+            )
+            * problem.catalog[ad].cpe
+            for ad in range(problem.num_ads)
+        ]
+        revenue_vectors[name] = revenues
+        rows.append([name, sum(revenues)])
+    rows[0].append(PAPER_EXPECTED_CLICKS_A)
+    rows[1].append(PAPER_EXPECTED_CLICKS_B)
+    print(format_table(["allocation", "exact E[clicks]", "paper"], rows,
+                       title="Figure 1: expected clicks"))
+
+    print()
+    regret_rows = []
+    paper = {
+        ("A (myopic)", 0.0): PAPER_REGRET_A_LAMBDA0,
+        ("B (viral)", 0.0): PAPER_REGRET_B_LAMBDA0,
+        ("A (myopic)", 0.1): PAPER_REGRET_A_LAMBDA01,
+        ("B (viral)", 0.1): PAPER_REGRET_B_LAMBDA01,
+    }
+    for lam in (0.0, 0.1):
+        for name, allocation in allocations.items():
+            breakdown = allocation_regret(
+                revenue_vectors[name],
+                problem.catalog.budgets(),
+                allocation.seed_counts(),
+                lam,
+            )
+            regret_rows.append([name, lam, breakdown.total, paper[(name, lam)]])
+    print(format_table(["allocation", "lambda", "exact regret", "paper"],
+                       regret_rows, title="Examples 1-2: regrets"))
+
+    print("\nPer-node click probabilities for ad 'a' under Allocation A")
+    clicks = exact_click_probabilities(
+        problem.graph,
+        problem.ad_edge_probabilities(0),
+        figure1_allocation_a().seed_array(0),
+        ctps=problem.ad_ctps(0),
+    )
+    paper_clicks = [0.9, 0.9, 0.93, 0.95, 0.95, 0.92]
+    print(format_table(
+        ["node", "exact", "paper (approx.)"],
+        [[f"v{i + 1}", clicks[i], paper_clicks[i]] for i in range(6)],
+    ))
+    print("\n(the paper treats v4/v5 as independent when scoring v6; exact")
+    print(" enumeration accounts for their shared ancestor v3 — see DESIGN.md)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Advertising-side entities of Problem 1 (§3).
+
+Advertisers approach the host with an ad (a topic distribution ``~γ_i``), a
+budget ``B_i`` and a cost-per-engagement ``cpe(i)``; the host allocates a
+seed set ``S_i`` to each subject to per-user attention bounds ``κ_u`` and
+is scored by the regret ``R_i(S_i) = |B_i − Π_i(S_i)| + λ·|S_i|``.
+"""
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.allocation import Allocation
+from repro.advertising.attention import AttentionBounds
+from repro.advertising.catalog import AdCatalog
+from repro.advertising.competition import CompetitionRules
+from repro.advertising.problem import AdAllocationProblem
+from repro.advertising.regret import (
+    RegretBreakdown,
+    allocation_regret,
+    budget_regret,
+    regret_of,
+)
+
+__all__ = [
+    "Advertiser",
+    "AdCatalog",
+    "AttentionBounds",
+    "Allocation",
+    "CompetitionRules",
+    "AdAllocationProblem",
+    "RegretBreakdown",
+    "budget_regret",
+    "regret_of",
+    "allocation_regret",
+]

@@ -1,0 +1,62 @@
+"""User attention bounds ``κ_u`` (§1, §3).
+
+The host shows at most ``κ_u`` promoted posts to user ``u``; only direct
+promotions count — virally received ads do not consume attention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AllocationError
+
+
+class AttentionBounds:
+    """Per-user attention bounds, stored as an int array of length ``n``."""
+
+    __slots__ = ("kappa",)
+
+    def __init__(self, kappa) -> None:
+        array = np.asarray(kappa, dtype=np.int64).ravel()
+        if array.size == 0:
+            raise AllocationError("attention bounds must cover at least one user")
+        if array.min() < 0:
+            raise AllocationError(f"attention bounds must be >= 0, got min {array.min()}")
+        array.setflags(write=False)
+        self.kappa = array
+
+    @classmethod
+    def uniform(cls, num_nodes: int, bound: int) -> "AttentionBounds":
+        """Every user gets the same bound (the κ sweeps of Fig. 3)."""
+        if bound < 0:
+            raise AllocationError(f"bound must be >= 0, got {bound}")
+        return cls(np.full(num_nodes, bound, dtype=np.int64))
+
+    @classmethod
+    def unlimited(cls, num_nodes: int, num_ads: int) -> "AttentionBounds":
+        """``κ_u = h`` for all users — the Theorem-2 regime where attention
+        never constrains the greedy algorithm."""
+        return cls.uniform(num_nodes, num_ads)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of users covered."""
+        return int(self.kappa.size)
+
+    def __getitem__(self, node: int) -> int:
+        return int(self.kappa[node])
+
+    def remaining(self, assignment_counts: np.ndarray) -> np.ndarray:
+        """Slots left per user given how many ads each already has."""
+        counts = np.asarray(assignment_counts, dtype=np.int64)
+        if counts.shape != self.kappa.shape:
+            raise AllocationError(
+                f"assignment_counts must have shape {self.kappa.shape}, got {counts.shape}"
+            )
+        return np.maximum(self.kappa - counts, 0)
+
+    def __repr__(self) -> str:
+        unique = np.unique(self.kappa)
+        if unique.size == 1:
+            return f"AttentionBounds(uniform={int(unique[0])}, n={self.num_nodes})"
+        return f"AttentionBounds(n={self.num_nodes}, min={unique[0]}, max={unique[-1]})"

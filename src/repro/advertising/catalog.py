@@ -1,0 +1,62 @@
+"""An ordered collection of advertisers (the ``h`` ads of Problem 1)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.advertising.advertiser import Advertiser
+from repro.errors import AllocationError
+
+
+class AdCatalog:
+    """Immutable, ordered set of advertisers with array-valued views.
+
+    The index of an advertiser in the catalog is the ad id ``i`` used by
+    every algorithm; name-based lookup is provided for reporting.
+    """
+
+    __slots__ = ("_advertisers", "_index_by_name")
+
+    def __init__(self, advertisers: Iterable[Advertiser]) -> None:
+        ads = list(advertisers)
+        if not ads:
+            raise AllocationError("an ad catalog needs at least one advertiser")
+        names = [ad.name for ad in ads]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise AllocationError(f"duplicate advertiser names: {dupes}")
+        self._advertisers = tuple(ads)
+        self._index_by_name = {ad.name: i for i, ad in enumerate(ads)}
+
+    def __len__(self) -> int:
+        return len(self._advertisers)
+
+    def __iter__(self) -> Iterator[Advertiser]:
+        return iter(self._advertisers)
+
+    def __getitem__(self, index: int) -> Advertiser:
+        return self._advertisers[index]
+
+    def index_of(self, name: str) -> int:
+        """Ad id for an advertiser name."""
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise AllocationError(f"unknown advertiser {name!r}") from None
+
+    def budgets(self) -> np.ndarray:
+        """Effective budgets ``B'_i`` as a float array (length ``h``)."""
+        return np.asarray([ad.effective_budget for ad in self._advertisers])
+
+    def cpes(self) -> np.ndarray:
+        """CPEs as a float array (length ``h``)."""
+        return np.asarray([ad.cpe for ad in self._advertisers])
+
+    def total_budget(self) -> float:
+        """``B = Σ_i B_i`` — the yardstick of Theorems 2–4."""
+        return float(self.budgets().sum())
+
+    def __repr__(self) -> str:
+        return f"AdCatalog(h={len(self)}, total_budget={self.total_budget():g})"

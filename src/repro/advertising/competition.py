@@ -1,0 +1,122 @@
+"""Hard competition constraints (the §7 extension).
+
+The paper's conclusions point at allocation "in presence of hard
+competition constraints": an advertiser may demand that no user who is
+seeded with its ad is simultaneously seeded with a close competitor's.
+This module models those constraints and provides validation plus a
+repair pass, so any allocator's output can be made competition-safe.
+
+Conflicts are either declared explicitly or derived from topic
+proximity: two ads conflict when the Bhattacharyya overlap of their
+topic distributions exceeds a threshold (ads close in topic space
+compete for the same users — the §1 observation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.catalog import AdCatalog
+from repro.errors import AllocationError
+
+
+class CompetitionRules:
+    """A symmetric conflict relation over ads.
+
+    Parameters
+    ----------
+    num_ads:
+        Number of ads ``h``.
+    conflicts:
+        Iterable of ``(i, j)`` ad-index pairs that must not share seeds.
+    """
+
+    def __init__(self, num_ads: int, conflicts=()) -> None:
+        if num_ads < 1:
+            raise AllocationError("num_ads must be >= 1")
+        self.num_ads = int(num_ads)
+        self._matrix = np.zeros((num_ads, num_ads), dtype=bool)
+        for i, j in conflicts:
+            self.add_conflict(i, j)
+
+    @classmethod
+    def from_topic_overlap(
+        cls, catalog: AdCatalog, *, threshold: float = 0.5
+    ) -> "CompetitionRules":
+        """Declare a conflict for every ad pair with topic overlap
+        (Bhattacharyya coefficient) above ``threshold``."""
+        if not 0.0 <= threshold <= 1.0:
+            raise AllocationError(f"threshold must be in [0, 1], got {threshold}")
+        missing = [ad.name for ad in catalog if ad.topics is None]
+        if missing:
+            raise AllocationError(
+                f"advertisers {missing} lack topic distributions; "
+                "declare conflicts explicitly instead"
+            )
+        rules = cls(len(catalog))
+        for i in range(len(catalog)):
+            for j in range(i + 1, len(catalog)):
+                if catalog[i].topics.overlap(catalog[j].topics) > threshold:
+                    rules.add_conflict(i, j)
+        return rules
+
+    def add_conflict(self, i: int, j: int) -> None:
+        """Declare ads ``i`` and ``j`` conflicting (symmetric)."""
+        if not (0 <= i < self.num_ads and 0 <= j < self.num_ads):
+            raise AllocationError(f"ad index out of range: ({i}, {j})")
+        if i == j:
+            raise AllocationError("an ad cannot conflict with itself")
+        self._matrix[i, j] = self._matrix[j, i] = True
+
+    def in_conflict(self, i: int, j: int) -> bool:
+        """Whether ads ``i`` and ``j`` conflict."""
+        return bool(self._matrix[i, j])
+
+    def conflicting_ads(self, ad: int) -> np.ndarray:
+        """Indices of ads conflicting with ``ad``."""
+        return np.flatnonzero(self._matrix[ad])
+
+    def num_conflicts(self) -> int:
+        """Number of conflicting (unordered) pairs."""
+        return int(self._matrix.sum() // 2)
+
+    # ------------------------------------------------------------------
+    def violations(self, allocation: Allocation) -> list[tuple[int, int, int]]:
+        """All ``(user, ad_i, ad_j)`` triples breaking the rules."""
+        if allocation.num_ads != self.num_ads:
+            raise AllocationError(
+                f"allocation has {allocation.num_ads} ads, rules cover {self.num_ads}"
+            )
+        out = []
+        for i in range(self.num_ads):
+            for j in self.conflicting_ads(i):
+                if j <= i:
+                    continue
+                shared = allocation.seeds(i) & allocation.seeds(int(j))
+                out.extend((user, i, int(j)) for user in sorted(shared))
+        return out
+
+    def is_compatible(self, allocation: Allocation) -> bool:
+        """True iff no conflicting ads share a seed."""
+        return not self.violations(allocation)
+
+    def repair(self, allocation: Allocation, keep_scores=None) -> Allocation:
+        """Return a conflict-free copy by dropping offending assignments.
+
+        For each violating ``(user, i, j)`` the user is removed from the
+        ad where it is worth less: ``keep_scores`` is an optional
+        ``(h, n)`` matrix (e.g. ``δ(u, i) · cpe(i)``); without it, the
+        later-indexed ad loses.  The repair is greedy and conservative —
+        it only ever removes seeds, so attention bounds stay satisfied.
+        """
+        repaired = allocation.copy()
+        for user, i, j in self.violations(allocation):
+            if user not in repaired.seeds(i) or user not in repaired.seeds(j):
+                continue  # an earlier repair already fixed this triple
+            if keep_scores is not None and keep_scores[i][user] < keep_scores[j][user]:
+                loser = i
+            else:
+                loser = j
+            repaired.unassign(user, loser)
+        return repaired

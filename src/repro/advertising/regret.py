@@ -1,0 +1,112 @@
+"""The regret objective (Eq. 3–4).
+
+``R_i(S_i) = |B_i − Π_i(S_i)| + λ·|S_i|`` decomposes into the
+*budget-regret* (undershoot or overshoot w.r.t. the budget) and the
+*seed-regret* (the λ-penalty for consuming host resources); the overall
+regret of an allocation is the sum over advertisers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def budget_regret(budget: float, revenue: float) -> float:
+    """``|B_i − Π_i(S_i)|`` — the first term of Eq. (3)."""
+    return abs(float(budget) - float(revenue))
+
+
+def regret_of(budget: float, revenue: float, penalty: float, num_seeds: int) -> float:
+    """Eq. (3): budget-regret plus the λ-weighted seed penalty."""
+    if penalty < 0:
+        raise ValueError(f"penalty (lambda) must be >= 0, got {penalty}")
+    if num_seeds < 0:
+        raise ValueError(f"num_seeds must be >= 0, got {num_seeds}")
+    return budget_regret(budget, revenue) + float(penalty) * int(num_seeds)
+
+
+@dataclass(frozen=True)
+class RegretBreakdown:
+    """Eq. (4) evaluated for a whole allocation, with per-ad detail.
+
+    Attributes
+    ----------
+    revenues:
+        ``Π_i(S_i)`` per ad.
+    budgets:
+        ``B_i`` per ad (effective budgets if a boost β is in force).
+    seed_counts:
+        ``|S_i|`` per ad.
+    penalty:
+        λ.
+    """
+
+    revenues: np.ndarray
+    budgets: np.ndarray
+    seed_counts: np.ndarray
+    penalty: float
+
+    def __post_init__(self) -> None:
+        for name in ("revenues", "budgets", "seed_counts"):
+            object.__setattr__(self, name, np.asarray(getattr(self, name), dtype=np.float64))
+        if not self.revenues.shape == self.budgets.shape == self.seed_counts.shape:
+            raise ValueError("revenues, budgets and seed_counts must be aligned")
+        if self.penalty < 0:
+            raise ValueError(f"penalty (lambda) must be >= 0, got {self.penalty}")
+
+    @property
+    def num_ads(self) -> int:
+        """Number of advertisers ``h``."""
+        return int(self.revenues.size)
+
+    def budget_regrets(self) -> np.ndarray:
+        """``|B_i − Π_i|`` per ad."""
+        return np.abs(self.budgets - self.revenues)
+
+    def seed_regrets(self) -> np.ndarray:
+        """``λ·|S_i|`` per ad."""
+        return self.penalty * self.seed_counts
+
+    def per_ad(self) -> np.ndarray:
+        """``R_i(S_i)`` per ad."""
+        return self.budget_regrets() + self.seed_regrets()
+
+    def signed_budget_gaps(self) -> np.ndarray:
+        """``Π_i − B_i`` per ad — positive means overshoot ("free service"),
+        negative means undershoot (lost revenue).  This is what Fig. 5
+        plots."""
+        return self.revenues - self.budgets
+
+    @property
+    def total(self) -> float:
+        """Eq. (4): ``R(S) = Σ_i R_i(S_i)``."""
+        return float(self.per_ad().sum())
+
+    @property
+    def total_budget_regret(self) -> float:
+        """Σ of budget-regrets only (the λ=0 objective of §4.3)."""
+        return float(self.budget_regrets().sum())
+
+    def relative_to_budget(self) -> float:
+        """Total regret expressed as a fraction of the total budget — the
+        headline numbers of §6.1 (e.g. TIRM 2.5% on Flixster)."""
+        return self.total / float(self.budgets.sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"RegretBreakdown(total={self.total:.4g}, "
+            f"budget_regret={self.total_budget_regret:.4g}, "
+            f"penalty={self.penalty:g}, h={self.num_ads})"
+        )
+
+
+def allocation_regret(revenues, budgets, seed_counts, penalty: float) -> RegretBreakdown:
+    """Convenience constructor for :class:`RegretBreakdown`."""
+    return RegretBreakdown(
+        revenues=np.asarray(revenues, dtype=np.float64),
+        budgets=np.asarray(budgets, dtype=np.float64),
+        seed_counts=np.asarray(seed_counts, dtype=np.float64),
+        penalty=float(penalty),
+    )

@@ -1,0 +1,44 @@
+"""Allocation algorithms: the paper's contribution and its baselines.
+
+* :class:`GreedyAllocator` — Algorithm 1 (§4.1), generic over spread
+  oracles (exact / Monte-Carlo / RRC-sets);
+* :class:`TIRMAllocator` — Two-phase Iterative Regret Minimization
+  (Algorithms 2–4, §5.2), the paper's scalable contribution;
+* :class:`MyopicAllocator` / :class:`MyopicPlusAllocator` — the
+  CTP-ranking baselines of §6;
+* :class:`GreedyIRIEAllocator` — Algorithm 1 instantiated with the IRIE
+  heuristic of Jung et al. [18];
+* :mod:`repro.algorithms.bounds` — the Theorem 2/3/4 regret bounds.
+"""
+
+from repro.algorithms.base import AllocationResult, Allocator
+from repro.algorithms.bounds import (
+    RegretBounds,
+    compute_bounds,
+    theorem2_bound,
+    theorem4_bound,
+)
+from repro.algorithms.greedy import GreedyAllocator
+from repro.algorithms.irie import (
+    GreedyIRIEAllocator,
+    estimate_activation_probabilities,
+    influence_rank,
+)
+from repro.algorithms.myopic import MyopicAllocator, MyopicPlusAllocator
+from repro.algorithms.tirm import TIRMAllocator
+
+__all__ = [
+    "Allocator",
+    "AllocationResult",
+    "GreedyAllocator",
+    "TIRMAllocator",
+    "MyopicAllocator",
+    "MyopicPlusAllocator",
+    "GreedyIRIEAllocator",
+    "influence_rank",
+    "estimate_activation_probabilities",
+    "RegretBounds",
+    "compute_bounds",
+    "theorem2_bound",
+    "theorem4_bound",
+]

@@ -1,0 +1,223 @@
+"""IRIE (Jung et al. [18]) and the Greedy-IRIE baseline (§5 / §6).
+
+IRIE estimates influence with two coupled linear systems:
+
+* **IR (influence ranking)** — ``r(u) = (1 − AP(u)) · (1 + α · Σ_{v ∈
+  out(u)} p_{u,v} · r(v))``: node ``u``'s spread is itself plus a damped
+  (α) share of its neighbors' spreads, discounted by the probability
+  ``AP(u)`` that ``u`` is already activated by the current seeds;
+* **IE (influence estimation)** — ``AP(v)`` is propagated from the seed
+  set through the independence approximation ``AP(v) = 1 − (1 −
+  base(v)) · Π_{u ∈ in(v)} (1 − AP(u)·p_{u,v})``.
+
+Greedy-IRIE is Algorithm 1 with marginal revenue approximated by
+``cpe(i) · δ(u, i) · r_i(u)``; the paper uses α = 0.8 on the quality
+datasets and α = 0.7 for scalability, and observes it is a heuristic with
+no guarantees and inconsistent over/under-estimation — behaviour this
+implementation reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.problem import AdAllocationProblem
+from repro.advertising.regret import regret_of
+from repro.algorithms.base import AllocationResult, Allocator
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DirectedGraph
+from repro.utils.timing import Timer
+from repro.utils.validation import check_probability_array
+
+
+def influence_rank(
+    graph: DirectedGraph,
+    edge_probabilities,
+    *,
+    alpha: float = 0.7,
+    activation_probs=None,
+    max_iterations: int = 20,
+    tolerance: float = 1e-6,
+) -> np.ndarray:
+    """IR iteration: per-node influence estimates ``r``.
+
+    ``activation_probs`` (``AP``) discounts nodes the current seed set
+    already reaches; ``None`` means no seeds yet (``AP ≡ 0``).
+    """
+    if not 0 <= alpha <= 1:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    probs = check_probability_array("edge_probabilities", edge_probabilities)
+    if probs.shape != (graph.num_edges,):
+        raise ValueError(f"edge_probabilities must have shape ({graph.num_edges},)")
+    n = graph.num_nodes
+    if activation_probs is None:
+        not_active = np.ones(n)
+    else:
+        ap = np.asarray(activation_probs, dtype=np.float64)
+        if ap.shape != (n,):
+            raise ValueError(f"activation_probs must have shape ({n},)")
+        not_active = 1.0 - ap
+    rank = np.ones(n)
+    src, dst = graph.edge_sources, graph.edge_targets
+    for _ in range(max_iterations):
+        neighbor_mass = np.bincount(src, weights=probs * rank[dst], minlength=n)
+        updated = not_active * (1.0 + alpha * neighbor_mass)
+        if np.max(np.abs(updated - rank)) < tolerance:
+            rank = updated
+            break
+        rank = updated
+    return rank
+
+
+def estimate_activation_probabilities(
+    graph: DirectedGraph,
+    edge_probabilities,
+    seeds,
+    *,
+    ctps=None,
+    max_iterations: int = 10,
+    tolerance: float = 1e-6,
+) -> np.ndarray:
+    """IE iteration: ``AP(v)`` ≈ probability the seed set activates ``v``.
+
+    Seeds start at their CTP (they must click to become active); each
+    round propagates one more hop under the usual independence
+    approximation.
+    """
+    probs = check_probability_array("edge_probabilities", edge_probabilities)
+    n = graph.num_nodes
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    base = np.zeros(n)
+    if seeds.size:
+        if ctps is None:
+            base[seeds] = 1.0
+        else:
+            delta = np.asarray(ctps, dtype=np.float64)
+            base[seeds] = delta[seeds]
+    ap = base.copy()
+    if seeds.size == 0:
+        return ap
+    src, dst = graph.edge_sources, graph.edge_targets
+    for _ in range(max_iterations):
+        incoming = np.clip(ap[src] * probs, 0.0, 1.0 - 1e-12)
+        log_miss = np.bincount(dst, weights=np.log1p(-incoming), minlength=n)
+        updated = 1.0 - (1.0 - base) * np.exp(log_miss)
+        if np.max(np.abs(updated - ap)) < tolerance:
+            ap = updated
+            break
+        ap = updated
+    return ap
+
+
+class GreedyIRIEAllocator(Allocator):
+    """Algorithm 1 with IRIE spread estimation (the §6 strong baseline).
+
+    Parameters
+    ----------
+    alpha:
+        IR damping factor; the paper found 0.8 best on its quality
+        datasets and used 0.7 for scalability runs.
+    ir_iterations / ie_iterations:
+        Iteration caps for the two linear systems.
+    """
+
+    name = "Greedy-IRIE"
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.8,
+        ir_iterations: int = 20,
+        ie_iterations: int = 10,
+    ) -> None:
+        if not 0 <= alpha <= 1:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self.ir_iterations = int(ir_iterations)
+        self.ie_iterations = int(ie_iterations)
+
+    def allocate(self, problem: AdAllocationProblem) -> AllocationResult:
+        with Timer() as timer:
+            result = self._allocate(problem)
+        result.runtime_seconds = timer.elapsed
+        return result
+
+    def _allocate(self, problem: AdAllocationProblem) -> AllocationResult:
+        h, n = problem.num_ads, problem.num_nodes
+        budgets = problem.catalog.budgets()
+        cpes = problem.catalog.cpes()
+        allocation = Allocation(h, n)
+        revenues = np.zeros(h)
+        ranks = [
+            influence_rank(
+                problem.graph,
+                problem.ad_edge_probabilities(ad),
+                alpha=self.alpha,
+                max_iterations=self.ir_iterations,
+            )
+            for ad in range(h)
+        ]
+        # eligible[i, u]: u not yet in S_i and attention not exhausted.
+        eligible = np.ones((h, n), dtype=bool)
+        iterations = 0
+        ir_solves = h
+
+        while True:
+            best_ad, best_node, best_drop, best_marginal = -1, -1, 0.0, 0.0
+            for ad in range(h):
+                scores = problem.ctps[ad] * ranks[ad]
+                masked = np.where(eligible[ad], scores, -1.0)
+                node = int(np.argmax(masked))
+                if masked[node] <= 0.0:
+                    continue
+                marginal = cpes[ad] * problem.ctps[ad, node] * ranks[ad][node]
+                drop = regret_of(
+                    budgets[ad], revenues[ad], problem.penalty, len(allocation.seeds(ad))
+                ) - regret_of(
+                    budgets[ad],
+                    revenues[ad] + marginal,
+                    problem.penalty,
+                    len(allocation.seeds(ad)) + 1,
+                )
+                if drop > best_drop + 1e-12:
+                    best_ad, best_node = ad, node
+                    best_drop, best_marginal = drop, marginal
+            if best_ad < 0:
+                break
+            allocation.assign(best_node, best_ad)
+            revenues[best_ad] += best_marginal
+            eligible[best_ad, best_node] = False
+            if allocation.user_assignment_counts()[best_node] >= problem.attention[best_node]:
+                eligible[:, best_node] = False
+            # Refresh AP and IR for the ad whose seed set changed.
+            probs = problem.ad_edge_probabilities(best_ad)
+            ap = estimate_activation_probabilities(
+                problem.graph,
+                probs,
+                allocation.seed_array(best_ad),
+                ctps=problem.ad_ctps(best_ad),
+                max_iterations=self.ie_iterations,
+            )
+            ranks[best_ad] = influence_rank(
+                problem.graph,
+                probs,
+                alpha=self.alpha,
+                activation_probs=ap,
+                max_iterations=self.ir_iterations,
+            )
+            ir_solves += 1
+            iterations += 1
+
+        return AllocationResult(
+            algorithm=self.name,
+            allocation=allocation,
+            estimated_revenues=revenues,
+            budgets=budgets,
+            penalty=problem.penalty,
+            stats={
+                "iterations": iterations,
+                "ir_solves": ir_solves,
+                "alpha": self.alpha,
+            },
+        )

@@ -1,0 +1,357 @@
+"""TIRM — Two-phase Iterative Regret Minimization (Algorithms 2–4, §5.2).
+
+TIRM follows Algorithm 1's greedy logic but replaces Monte-Carlo spread
+estimation with RR-set coverage (§5.1), resolving the two obstacles a
+direct TIM application faces:
+
+* **CTPs** — sampling RRC-sets directly would need ~100× more samples at
+  realistic 1–3% CTPs, so plain RR-sets are sampled and marginal
+  coverages are multiplied by ``δ(v, i)`` (Theorem 5 guarantees the same
+  expectation);
+* **unknown seed counts** — the budget, not a seed count, drives how many
+  seeds each ad needs, so the per-ad seed-size estimate ``s_i`` (hence
+  the sample size ``θ_i = L(s_i, ε)``) is revised iteratively: whenever
+  ``|S_i|`` reaches ``s_i``, grow it by ``⌊R_i(S_i) / marginal-revenue⌋``
+  (a submodularity-justified lower bound on the seeds still needed),
+  sample the extra RR-sets, and re-estimate existing seeds' coverage
+  against them (Algorithm 4) so future marginals stay accurate.
+
+Differences from the pseudocode, both documented in DESIGN.md:
+
+* ``s_i`` grows by at least 1 when triggered (the literal ``⌊·⌋`` can
+  return 0, freezing ``θ_i`` forever);
+* ``select_rule="weighted"`` (default) ranks candidates by
+  ``δ(v, i) · coverage`` — the true marginal-revenue order Algorithm 1
+  maximises; ``"coverage"`` gives the literal Algorithm-3 ranking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.problem import AdAllocationProblem
+from repro.advertising.regret import regret_of
+from repro.algorithms.base import AllocationResult, Allocator
+from repro.algorithms.greedy import _beats
+from repro.errors import ConfigurationError
+from repro.rrset.collection import RRSetCollection
+from repro.rrset.sampler import RRSetSampler
+from repro.rrset.tim import greedy_max_coverage, required_rr_sets
+from repro.utils.rng import spawn_generators
+from repro.utils.timing import Timer
+
+
+@dataclass
+class _AdState:
+    """Mutable per-advertiser bookkeeping for one TIRM run."""
+
+    sampler: RRSetSampler
+    collection: RRSetCollection
+    seed_size_estimate: int = 1
+    revenue: float = 0.0
+    seeds_in_order: list[int] = field(default_factory=list)
+    marginal_coverage: dict[int, int] = field(default_factory=dict)
+    heap: list[tuple[float, int]] = field(default_factory=list)
+    active: bool = True
+
+    @property
+    def theta(self) -> int:
+        return self.collection.num_total
+
+
+class TIRMAllocator(Allocator):
+    """Algorithm 2 with the Algorithm-3 selector and Algorithm-4 updates.
+
+    Parameters
+    ----------
+    epsilon:
+        RR-set accuracy parameter ε (paper: 0.1 quality / 0.2 scalability).
+    ell:
+        Confidence parameter ℓ of Eq. (5).
+    select_rule:
+        ``"weighted"`` (CTP-weighted coverage; default) or ``"coverage"``
+        (the literal Algorithm 3).
+    initial_pilot:
+        RR-sets sampled per ad before the first ``θ_i`` is computed.
+    min_rr_sets_per_ad / max_rr_sets_per_ad:
+        Clamp on each ``θ_i`` — the max keeps laptop-scale runs bounded
+        (the paper ran on a 65 GB server).
+    seed:
+        Master RNG seed; per-ad samplers get independent child streams.
+    """
+
+    name = "TIRM"
+
+    def __init__(
+        self,
+        *,
+        epsilon: float = 0.1,
+        ell: float = 1.0,
+        select_rule: str = "weighted",
+        initial_pilot: int = 1_000,
+        min_rr_sets_per_ad: int = 500,
+        max_rr_sets_per_ad: int = 200_000,
+        seed=None,
+    ) -> None:
+        if not 0 < epsilon < 1:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if ell <= 0:
+            raise ConfigurationError(f"ell must be > 0, got {ell}")
+        if select_rule not in ("weighted", "coverage"):
+            raise ConfigurationError(
+                f"select_rule must be 'weighted' or 'coverage', got {select_rule!r}"
+            )
+        if min_rr_sets_per_ad < 1 or max_rr_sets_per_ad < min_rr_sets_per_ad:
+            raise ConfigurationError(
+                "need 1 <= min_rr_sets_per_ad <= max_rr_sets_per_ad, got "
+                f"{min_rr_sets_per_ad} / {max_rr_sets_per_ad}"
+            )
+        self.epsilon = float(epsilon)
+        self.ell = float(ell)
+        self.select_rule = select_rule
+        self.initial_pilot = int(initial_pilot)
+        self.min_rr_sets_per_ad = int(min_rr_sets_per_ad)
+        self.max_rr_sets_per_ad = int(max_rr_sets_per_ad)
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    def allocate(self, problem: AdAllocationProblem) -> AllocationResult:
+        with Timer() as timer:
+            result = self._allocate(problem)
+        result.runtime_seconds = timer.elapsed
+        return result
+
+    # ------------------------------------------------------------------
+    def _allocate(self, problem: AdAllocationProblem) -> AllocationResult:
+        h, n = problem.num_ads, problem.num_nodes
+        budgets = problem.catalog.budgets()
+        cpes = problem.catalog.cpes()
+        allocation = Allocation(h, n)
+        rngs = spawn_generators(self._seed, h)
+
+        states = [
+            self._initial_state(problem, ad, rngs[ad]) for ad in range(h)
+        ]
+        for ad in range(h):
+            self._rebuild_heap(problem, ad, states[ad])
+
+        iterations = 0
+        while True:
+            best_ad = -1
+            best_drop = 0.0
+            best_node = -1
+            best_cov = 0
+            for ad in range(h):
+                state = states[ad]
+                if not state.active:
+                    continue
+                candidate = self._best_candidate(problem, ad, state, allocation, budgets, cpes)
+                if candidate is None:
+                    continue
+                node, cov, _, drop = candidate
+                if drop > best_drop + 1e-12:
+                    best_ad, best_drop = ad, drop
+                    best_node, best_cov = node, cov
+            if best_ad < 0:
+                break
+
+            state = states[best_ad]
+            marginal = self._marginal_revenue(
+                problem, best_ad, state, best_node, best_cov, cpes
+            )
+            allocation.assign(best_node, best_ad)
+            state.seeds_in_order.append(best_node)
+            state.marginal_coverage[best_node] = best_cov
+            state.revenue += marginal
+            state.collection.remove_covered(best_node)
+            iterations += 1
+
+            if len(state.seeds_in_order) == state.seed_size_estimate:
+                self._grow_sample(problem, best_ad, state, budgets, cpes, marginal)
+
+        revenues = np.asarray([s.revenue for s in states])
+        return AllocationResult(
+            algorithm=self.name,
+            allocation=allocation,
+            estimated_revenues=revenues,
+            budgets=budgets,
+            penalty=problem.penalty,
+            stats={
+                "iterations": iterations,
+                "theta_per_ad": [s.theta for s in states],
+                "seed_size_estimates": [s.seed_size_estimate for s in states],
+                "total_rr_sets": int(sum(s.theta for s in states)),
+                "rr_memory_bytes": int(sum(s.collection.memory_bytes() for s in states)),
+                "epsilon": self.epsilon,
+                "select_rule": self.select_rule,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Initialisation and sampling
+    # ------------------------------------------------------------------
+    def _initial_state(self, problem, ad: int, rng) -> _AdState:
+        sampler = RRSetSampler(
+            problem.graph, problem.ad_edge_probabilities(ad), seed=rng
+        )
+        collection = RRSetCollection(problem.num_nodes)
+        pilot = max(min(self.initial_pilot, self.max_rr_sets_per_ad), self.min_rr_sets_per_ad)
+        collection.add_sets(sampler.sample(pilot))
+        state = _AdState(sampler=sampler, collection=collection)
+        target = self._theta_for(problem, state, s=1)
+        if target > state.theta:
+            collection.add_sets(sampler.sample(target - state.theta))
+        return state
+
+    #: Greedy-cover pilot size for OPT_s estimation: the cover runs on an
+    #: i.i.d. prefix of the sample, so a fixed-size pilot estimates the
+    #: same coverage fraction at O(1) cost per growth event.
+    _OPT_PILOT_SETS = 2_000
+
+    def _theta_for(self, problem, state: _AdState, s: int) -> int:
+        """``θ_i = L(s, ε)`` with a greedy-pilot OPT_s lower bound."""
+        n = problem.num_nodes
+        s = min(max(s, 1), n)
+        pilot = state.collection.all_sets()[: self._OPT_PILOT_SETS]
+        _, covered = greedy_max_coverage(pilot, n, s)
+        opt_lower = max(n * covered / len(pilot), float(min(s, n)), 1.0)
+        theta = required_rr_sets(n, s, self.epsilon, opt_lower, ell=self.ell)
+        return int(min(max(theta, self.min_rr_sets_per_ad), self.max_rr_sets_per_ad))
+
+    def _grow_sample(self, problem, ad: int, state: _AdState, budgets, cpes,
+                     last_marginal: float) -> None:
+        """Algorithm 2 lines 14–19: revise ``s_i``, top up RR-sets, and
+        re-estimate existing seeds' coverage (Algorithm 4)."""
+        regret = regret_of(
+            budgets[ad], state.revenue, problem.penalty, len(state.seeds_in_order)
+        )
+        if last_marginal > 0:
+            growth = int(math.floor(regret / last_marginal))
+        else:
+            growth = 0
+        state.seed_size_estimate += max(growth, 1)
+
+        target = max(self._theta_for(problem, state, state.seed_size_estimate), state.theta)
+        extra = target - state.theta
+        if extra <= 0:
+            return
+        state.collection.add_sets(state.sampler.sample(extra))
+        # Algorithm 4: walk existing seeds in selection order, credit each
+        # with its coverage among the new (still-alive) sets, and remove
+        # what it covers so later seeds are not double-credited.
+        for node in state.seeds_in_order:
+            fresh = len(state.collection.sets_containing(node, alive_only=True))
+            state.marginal_coverage[node] += fresh
+            state.collection.remove_covered(node)
+        self._recompute_revenue(problem, ad, state, cpes)
+        self._rebuild_heap(problem, ad, state)
+
+    def _recompute_revenue(self, problem, ad: int, state: _AdState, cpes) -> None:
+        """``Π_i(S_i) = Σ_v cpe·n·δ(v,i)·cov(v)/θ_i`` over chosen seeds."""
+        n = problem.num_nodes
+        delta = problem.ad_ctps(ad)
+        theta = state.theta
+        state.revenue = float(
+            sum(
+                cpes[ad] * n * delta[node] * count / theta
+                for node, count in state.marginal_coverage.items()
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Candidate selection (Algorithm 3, lazily)
+    # ------------------------------------------------------------------
+    def _score(self, problem, ad: int, node: int, cov: int) -> float:
+        if self.select_rule == "weighted":
+            return float(problem.ctps[ad, node]) * cov
+        return float(cov)
+
+    def _rebuild_heap(self, problem, ad: int, state: _AdState) -> None:
+        coverage = state.collection.coverage()
+        nodes = np.flatnonzero(coverage > 0)
+        if self.select_rule == "weighted":
+            scores = problem.ctps[ad, nodes] * coverage[nodes]
+        else:
+            scores = coverage[nodes].astype(np.float64)
+        state.heap = [(-float(s), int(v)) for s, v in zip(scores, nodes)]
+        heapq.heapify(state.heap)
+
+    def _pop_fresh(self, problem, ad: int, state: _AdState, allocation):
+        """Pop the eligible node with the largest *fresh* score.
+
+        Scores only decrease between heap rebuilds (covered sets are
+        removed), so re-pushing stale entries with their current score is
+        sound.  Returns ``(node, coverage, score)`` or ``None`` when no
+        eligible node with positive score remains.
+        """
+        heap = state.heap
+        while heap:
+            neg_score, node = heap[0]
+            if not allocation.can_assign(node, ad, problem.attention):
+                heapq.heappop(heap)
+                continue
+            cov = state.collection.coverage_of(node)
+            current = self._score(problem, ad, node, cov)
+            if current <= 0.0:
+                heapq.heappop(heap)
+                continue
+            if math.isclose(current, -neg_score, rel_tol=1e-12, abs_tol=1e-12):
+                heapq.heappop(heap)
+                return node, cov, current
+            heapq.heapreplace(heap, (-current, node))
+        return None
+
+    def _best_candidate(self, problem, ad: int, state: _AdState, allocation, budgets, cpes):
+        """Argmax-drop candidate for one ad: ``(node, cov, marginal, drop)``.
+
+        With the default ``weighted`` rule, candidates come off the heap
+        in decreasing marginal-revenue order, so drops first rise toward
+        the remaining budget and then only shrink — the scan stops at
+        the first candidate whose marginal fits within the remaining
+        budget (exact argmax, same argument as Algorithm 1's greedy).
+        The ``coverage`` rule reproduces the literal Algorithm 3: only
+        the single top-coverage node is considered.
+        """
+        remaining = budgets[ad] - state.revenue
+        if remaining <= 0:
+            return None
+        num_seeds = len(state.seeds_in_order)
+        scanned: list[tuple[float, int]] = []
+        best = None
+        best_drop = 0.0
+        best_fits = False
+        while True:
+            top = self._pop_fresh(problem, ad, state, allocation)
+            if top is None:
+                if not scanned and best is None:
+                    state.active = False
+                break
+            node, cov, score = top
+            scanned.append((-score, node))
+            marginal = self._marginal_revenue(problem, ad, state, node, cov, cpes)
+            drop = regret_of(
+                budgets[ad], state.revenue, problem.penalty, num_seeds
+            ) - regret_of(
+                budgets[ad], state.revenue + marginal, problem.penalty, num_seeds + 1
+            )
+            fits = marginal <= remaining
+            if drop > 1e-12 and _beats(drop, fits, best_drop, best_fits):
+                best = (node, cov, marginal, drop)
+                best_drop, best_fits = drop, fits
+            if self.select_rule == "coverage" or fits:
+                break
+        for entry in scanned:
+            heapq.heappush(state.heap, entry)
+        return best
+
+    def _marginal_revenue(self, problem, ad: int, state: _AdState, node: int,
+                          cov: int, cpes) -> float:
+        """Theorem 5: ``cpe(i) · n · δ(v, i) · cov(v)/θ_i``."""
+        return float(
+            cpes[ad] * problem.num_nodes * problem.ctps[ad, node] * cov / state.theta
+        )

@@ -1,0 +1,14 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``   list the built-in datasets and their statistics
+``allocate``   run an allocator on a dataset and referee it with MC
+``figure1``    reproduce the paper's Fig.-1 / Example-1 numbers exactly
+``bounds``     estimate the Theorem 2/3/4 regret bounds for a dataset
+``im``         classic influence maximization with the TIM substrate
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["main", "build_parser"]

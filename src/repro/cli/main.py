@@ -1,0 +1,217 @@
+"""Argument parsing and command dispatch for the ``repro`` CLI.
+
+Each command is a small function taking parsed args and returning an
+exit code; all output goes through ``print`` so commands are trivially
+testable with ``capsys``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.algorithms.bounds import compute_bounds
+from repro.algorithms.greedy import GreedyAllocator
+from repro.algorithms.irie import GreedyIRIEAllocator
+from repro.algorithms.myopic import MyopicAllocator, MyopicPlusAllocator
+from repro.algorithms.tirm import TIRMAllocator
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.evaluation.evaluator import RegretEvaluator
+from repro.evaluation.reporting import format_table
+from repro.graph.stats import graph_stats
+
+_ALLOCATORS: dict[str, Callable[..., object]] = {
+    "tirm": lambda args: TIRMAllocator(
+        seed=args.seed, epsilon=args.epsilon, max_rr_sets_per_ad=args.max_rr_sets
+    ),
+    "greedy": lambda args: GreedyAllocator(num_runs=args.mc_runs, seed=args.seed),
+    "myopic": lambda args: MyopicAllocator(),
+    "myopic+": lambda args: MyopicPlusAllocator(),
+    "irie": lambda args: GreedyIRIEAllocator(alpha=args.alpha),
+}
+
+_DATASET_KWARG_NAMES = ("scale", "num_ads", "attention_bound", "penalty")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Ad Allocation with Minimum Regret' (VLDB 2015)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list built-in datasets")
+
+    allocate = commands.add_parser("allocate", help="run an allocator on a dataset")
+    allocate.add_argument("dataset", choices=sorted(DATASETS))
+    allocate.add_argument("--algorithm", choices=sorted(_ALLOCATORS), default="tirm")
+    allocate.add_argument("--scale", type=float, default=None,
+                          help="dataset scale (synthetic datasets only)")
+    allocate.add_argument("--num-ads", type=int, default=None, dest="num_ads")
+    allocate.add_argument("--attention-bound", type=int, default=None,
+                          dest="attention_bound")
+    allocate.add_argument("--penalty", type=float, default=None,
+                          help="seed penalty lambda")
+    allocate.add_argument("--eval-runs", type=int, default=500)
+    allocate.add_argument("--seed", type=int, default=0)
+    allocate.add_argument("--epsilon", type=float, default=0.1)
+    allocate.add_argument("--max-rr-sets", type=int, default=20_000, dest="max_rr_sets")
+    allocate.add_argument("--mc-runs", type=int, default=200, dest="mc_runs")
+    allocate.add_argument("--alpha", type=float, default=0.8)
+
+    commands.add_parser("figure1", help="reproduce the Fig.-1 numbers exactly")
+
+    bounds = commands.add_parser("bounds", help="Theorem 2/3/4 bound estimates")
+    bounds.add_argument("dataset", choices=sorted(DATASETS))
+    bounds.add_argument("--scale", type=float, default=None)
+    bounds.add_argument("--rr-sets", type=int, default=4_000, dest="rr_sets")
+    bounds.add_argument("--seed", type=int, default=0)
+
+    im = commands.add_parser("im", help="influence maximization with TIM")
+    im.add_argument("--nodes", type=int, default=1_000)
+    im.add_argument("--k", type=int, default=10)
+    im.add_argument("--epsilon", type=float, default=0.2)
+    im.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _dataset_kwargs(args) -> dict:
+    kwargs = {}
+    for name in _DATASET_KWARG_NAMES:
+        value = getattr(args, name, None)
+        if value is not None:
+            kwargs[name] = value
+    if args.dataset == "figure1":
+        # the gadget only takes a penalty
+        kwargs = {k: v for k, v in kwargs.items() if k == "penalty"}
+    return kwargs
+
+
+def _cmd_datasets(args) -> int:
+    rows = []
+    for name in sorted(DATASETS):
+        if name == "figure1":
+            problem = load_dataset(name)
+        else:
+            problem = load_dataset(name, scale=0.002 if name != "livejournal" else 0.0002)
+        stats = graph_stats(problem.graph)
+        rows.append([name, stats.num_nodes, stats.num_edges, problem.num_ads,
+                     problem.catalog.total_budget()])
+    print(format_table(
+        ["dataset", "nodes*", "edges*", "ads", "total budget*"],
+        rows,
+        title="Built-in datasets (*at a small preview scale; use --scale)",
+    ))
+    return 0
+
+
+def _cmd_allocate(args) -> int:
+    problem = load_dataset(args.dataset, **_dataset_kwargs(args))
+    allocator = _ALLOCATORS[args.algorithm](args)
+    result = allocator.allocate(problem)
+    report = RegretEvaluator(problem, num_runs=args.eval_runs, seed=args.seed + 1).evaluate(
+        result.allocation, algorithm=allocator.name
+    )
+    print(f"{allocator.name} on {args.dataset}: "
+          f"{problem.num_nodes} users, {problem.num_ads} ads, "
+          f"B = {problem.catalog.total_budget():.2f}")
+    rows = [
+        ["total regret (MC)", report.total_regret],
+        ["relative to budget", report.regret.relative_to_budget()],
+        ["seeds", report.total_seeds],
+        ["targeted users", report.num_targeted_users],
+        ["allocation time (s)", result.runtime_seconds],
+    ]
+    print(format_table(["metric", "value"], rows))
+    gap_rows = [
+        [problem.catalog[ad].name, report.regret.revenues[ad],
+         report.regret.budgets[ad], report.regret.signed_budget_gaps()[ad]]
+        for ad in range(problem.num_ads)
+    ]
+    print(format_table(["ad", "revenue", "budget", "gap"], gap_rows))
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    from repro.advertising.regret import allocation_regret
+    from repro.datasets.toy import (
+        figure1_allocation_a,
+        figure1_allocation_b,
+        figure1_problem,
+    )
+    from repro.diffusion.exact import exact_spread
+
+    problem = figure1_problem()
+    rows = []
+    for name, allocation in (("A", figure1_allocation_a()), ("B", figure1_allocation_b())):
+        revenues = [
+            exact_spread(
+                problem.graph,
+                problem.ad_edge_probabilities(ad),
+                allocation.seed_array(ad),
+                ctps=problem.ad_ctps(ad),
+            )
+            for ad in range(4)
+        ]
+        for lam in (0.0, 0.1):
+            regret = allocation_regret(
+                revenues, problem.catalog.budgets(), allocation.seed_counts(), lam
+            ).total
+            rows.append([name, lam, sum(revenues), regret])
+    print(format_table(
+        ["allocation", "lambda", "E[clicks]", "regret"],
+        rows,
+        title="Figure 1 / Examples 1-2 (exact enumeration)",
+    ))
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    kwargs = {"scale": args.scale} if args.scale is not None else {}
+    if args.dataset == "figure1":
+        kwargs = {}
+    problem = load_dataset(args.dataset, **kwargs)
+    bounds = compute_bounds(problem, rr_sets_per_ad=args.rr_sets, seed=args.seed)
+    rows = [
+        ["p_max", bounds.p_max],
+        ["theorem 2 (lambda=0)", bounds.theorem2],
+        ["theorem 3 (B/3)", bounds.theorem3],
+        ["theorem 4", bounds.theorem4 if bounds.theorem4_applicable else "n/a (p_max >= 1)"],
+        ["total budget", bounds.total_budget],
+    ]
+    print(format_table(["bound", "value"], rows, title=f"Regret bounds: {args.dataset}"))
+    return 0
+
+
+def _cmd_im(args) -> int:
+    from repro.graph.generators import power_law_graph
+    from repro.graph.probabilities import weighted_cascade_probabilities
+    from repro.rrset.tim import TIMInfluenceMaximizer
+
+    graph = power_law_graph(args.nodes, avg_out_degree=8.0, seed=args.seed)
+    probs = weighted_cascade_probabilities(graph)
+    tim = TIMInfluenceMaximizer(
+        graph, probs, epsilon=args.epsilon, max_rr_sets=200_000, seed=args.seed
+    )
+    result = tim.select(args.k)
+    print(f"TIM selected {len(result.seeds)} seeds from {args.nodes} nodes "
+          f"({result.num_rr_sets} RR-sets)")
+    print(f"estimated spread: {result.estimated_spread:.2f}")
+    print(f"seeds: {result.seeds}")
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "allocate": _cmd_allocate,
+    "figure1": _cmd_figure1,
+    "bounds": _cmd_bounds,
+    "im": _cmd_im,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

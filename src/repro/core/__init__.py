@@ -1,0 +1,48 @@
+"""The paper-facing core API: Problem 1 and its allocators in one place.
+
+``repro.core`` is a stable, flat namespace over the pieces a user needs
+to state and solve a regret-minimization instance; the subpackages hold
+the substrates (graph, topics, diffusion, RR-sets) those pieces build on.
+"""
+
+from repro.advertising import (
+    AdAllocationProblem,
+    AdCatalog,
+    Advertiser,
+    Allocation,
+    AttentionBounds,
+    RegretBreakdown,
+)
+from repro.algorithms import (
+    AllocationResult,
+    Allocator,
+    GreedyAllocator,
+    GreedyIRIEAllocator,
+    MyopicAllocator,
+    MyopicPlusAllocator,
+    RegretBounds,
+    TIRMAllocator,
+    compute_bounds,
+)
+from repro.evaluation import EvaluationReport, RegretEvaluator, run_allocator
+
+__all__ = [
+    "Advertiser",
+    "AdCatalog",
+    "Allocation",
+    "AttentionBounds",
+    "AdAllocationProblem",
+    "RegretBreakdown",
+    "Allocator",
+    "AllocationResult",
+    "GreedyAllocator",
+    "TIRMAllocator",
+    "MyopicAllocator",
+    "MyopicPlusAllocator",
+    "GreedyIRIEAllocator",
+    "RegretBounds",
+    "compute_bounds",
+    "RegretEvaluator",
+    "EvaluationReport",
+    "run_allocator",
+]

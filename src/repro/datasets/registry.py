@@ -1,0 +1,34 @@
+"""Name-based dataset lookup for the CLI and the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.advertising.problem import AdAllocationProblem
+from repro.datasets.synthetic import dblp_like, epinions_like, flixster_like, livejournal_like
+from repro.datasets.toy import figure1_problem
+from repro.errors import ConfigurationError
+
+#: Registry of dataset factories keyed by their §6 names.
+DATASETS: dict[str, Callable[..., AdAllocationProblem]] = {
+    "figure1": figure1_problem,
+    "flixster": flixster_like,
+    "epinions": epinions_like,
+    "dblp": dblp_like,
+    "livejournal": livejournal_like,
+}
+
+
+def load_dataset(name: str, **kwargs) -> AdAllocationProblem:
+    """Build a dataset by name; ``kwargs`` go to the factory.
+
+    >>> problem = load_dataset("figure1")
+    >>> problem.num_ads
+    4
+    """
+    try:
+        factory = DATASETS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise ConfigurationError(f"unknown dataset {name!r}; known: {known}") from None
+    return factory(**kwargs)

@@ -1,0 +1,7 @@
+"""Backwards-compatible alias: the frontier primitive lives with the
+graph substrate (it has no diffusion-specific dependencies and the
+connectivity algorithms need it too)."""
+
+from repro.graph._traversal import gather_edge_slots
+
+__all__ = ["gather_edge_slots"]

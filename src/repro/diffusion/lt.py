@@ -1,0 +1,168 @@
+"""The Linear Threshold (LT) model of Kempe et al. [19].
+
+The paper's framework is IC-based, but the influence-maximization
+substrate it builds on (greedy + RR-sets, §2/§5) applies verbatim to LT
+— Kempe et al.'s other canonical model — so a complete reproduction of
+that substrate ships both.  Semantics:
+
+* each edge carries a weight ``b_{u,v} ≥ 0`` with ``Σ_u b_{u,v} ≤ 1``;
+* node ``v`` activates when the weight of its active in-neighbors
+  crosses a uniform random threshold ``θ_v ~ U[0, 1]``.
+
+Kempe et al.'s live-edge equivalence makes this a reachability model:
+every node independently picks **at most one** incoming edge (edge
+``(u, v)`` with probability ``b_{u,v}``, none with ``1 − Σ_u b_{u,v}``);
+a node activates iff a seed reaches it through picked edges.  That
+equivalence is what the simulator and the LT RR-set sampler below
+implement, and CTPs compose with it exactly as in IC-CTP (a seed clicks
+with ``δ``; a failed seed remains reachable through its picked edge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diffusion.montecarlo import SpreadEstimate, combine_mean_variance
+from repro.diffusion.possible_worlds import reachable_from
+from repro.graph.digraph import DirectedGraph
+from repro.utils.rng import as_generator
+
+
+def check_lt_weights(graph: DirectedGraph, weights) -> np.ndarray:
+    """Validate LT edge weights: non-negative, per-target sums ≤ 1."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (graph.num_edges,):
+        raise ValueError(f"weights must have shape ({graph.num_edges},)")
+    if weights.size and weights.min() < 0:
+        raise ValueError("LT weights must be non-negative")
+    incoming = np.zeros(graph.num_nodes)
+    np.add.at(incoming, graph.edge_targets, weights)
+    if incoming.size and incoming.max() > 1.0 + 1e-9:
+        worst = int(np.argmax(incoming))
+        raise ValueError(
+            f"incoming LT weights of node {worst} sum to {incoming[worst]:.4f} > 1"
+        )
+    return weights
+
+
+def sample_lt_live_edges(graph: DirectedGraph, weights, *, rng=None) -> np.ndarray:
+    """One LT possible world: a boolean live mask with ≤ 1 live in-edge
+    per node (Kempe et al.'s live-edge construction)."""
+    weights = check_lt_weights(graph, weights)
+    rng = as_generator(rng)
+    live = np.zeros(graph.num_edges, dtype=bool)
+    if graph.num_edges == 0:
+        return live
+    # Weights along the in-CSR; a global cumulative sum plus per-node
+    # exclusive bases turns "pick one in-edge per node" into a single
+    # vectorised searchsorted.
+    in_weights = weights[graph.in_edge_ids]
+    cumulative = np.cumsum(in_weights)
+    starts = graph.in_indptr[:-1]
+    ends = graph.in_indptr[1:]
+    bases = np.concatenate(([0.0], cumulative))[starts]
+    draws = bases + rng.random(graph.num_nodes)
+    slots = np.searchsorted(cumulative, draws, side="left")
+    picked = slots < ends  # a slot beyond the node's slice means "no edge"
+    live[graph.in_edge_ids[slots[picked]]] = True
+    return live
+
+
+def simulate_lt_clicks(
+    graph: DirectedGraph,
+    weights,
+    seeds,
+    *,
+    ctps=None,
+    rng=None,
+) -> np.ndarray:
+    """One LT(-CTP) run; returns the boolean click vector."""
+    rng = as_generator(rng)
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    if seeds.size == 0:
+        return np.zeros(graph.num_nodes, dtype=bool)
+    if ctps is None:
+        accepted = seeds
+    else:
+        delta = np.asarray(ctps, dtype=np.float64)
+        accepted = seeds[rng.random(seeds.size) < delta[seeds]]
+    if accepted.size == 0:
+        return np.zeros(graph.num_nodes, dtype=bool)
+    live = sample_lt_live_edges(graph, weights, rng=rng)
+    return reachable_from(graph, live, accepted)
+
+
+def estimate_lt_spread(
+    graph: DirectedGraph,
+    weights,
+    seeds,
+    *,
+    ctps=None,
+    num_runs: int = 1_000,
+    seed=None,
+) -> SpreadEstimate:
+    """Monte-Carlo LT(-CTP) spread."""
+    if num_runs < 1:
+        raise ValueError(f"num_runs must be >= 1, got {num_runs}")
+    rng = as_generator(seed)
+    counts = [
+        int(simulate_lt_clicks(graph, weights, seeds, ctps=ctps, rng=rng).sum())
+        for _ in range(num_runs)
+    ]
+    mean, std_error = combine_mean_variance(counts)
+    return SpreadEstimate(mean=mean, std_error=std_error, num_runs=num_runs)
+
+
+def sample_lt_rr_set(
+    graph: DirectedGraph,
+    weights,
+    *,
+    rng=None,
+    root: int | None = None,
+) -> np.ndarray:
+    """One random LT RR-set.
+
+    Under the live-edge equivalence each node has at most one picked
+    in-edge, so the reverse reachable set of a root is a *path*: walk
+    backwards, picking one in-neighbor per step, until no edge is picked
+    or a node repeats.  ``n · F_R(S)`` over these sets estimates the LT
+    spread (the LT instantiation of Proposition 1, Borgs et al. [5]).
+    """
+    weights = check_lt_weights(graph, weights)
+    rng = as_generator(rng)
+    if root is None:
+        root = int(rng.integers(0, graph.num_nodes))
+    members = [root]
+    visited = {root}
+    node = root
+    while True:
+        start, end = graph.in_indptr[node], graph.in_indptr[node + 1]
+        if start == end:
+            break
+        slice_weights = weights[graph.in_edge_ids[start:end]]
+        draw = rng.random()
+        cumulative = np.cumsum(slice_weights)
+        slot = int(np.searchsorted(cumulative, draw, side="left"))
+        if slot >= end - start:
+            break  # picked "no incoming edge"
+        parent = int(graph.in_sources[start + slot])
+        if parent in visited:
+            break
+        visited.add(parent)
+        members.append(parent)
+        node = parent
+    return np.asarray(members, dtype=np.int64)
+
+
+def sample_lt_rr_sets(
+    graph: DirectedGraph,
+    weights,
+    count: int,
+    *,
+    rng=None,
+) -> list[np.ndarray]:
+    """``count`` independent LT RR-sets."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = as_generator(rng)
+    return [sample_lt_rr_set(graph, weights, rng=rng) for _ in range(count)]

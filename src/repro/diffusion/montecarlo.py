@@ -1,0 +1,45 @@
+"""Monte-Carlo estimates with uncertainty (the §6 evaluation referee)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpreadEstimate:
+    """A Monte-Carlo spread (expected clicks) estimate.
+
+    Attributes
+    ----------
+    mean:
+        Sample mean of activated-node counts across runs.
+    std_error:
+        Standard error of the mean (0 when ``num_runs < 2``).
+    num_runs:
+        Number of simulations averaged.
+    """
+
+    mean: float
+    std_error: float
+    num_runs: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI, default 95%."""
+        half = z * self.std_error
+        return (self.mean - half, self.mean + half)
+
+    def __float__(self) -> float:
+        return self.mean
+
+
+def combine_mean_variance(values) -> tuple[float, float]:
+    """Mean and standard error of a sequence of per-run outcomes."""
+    count = len(values)
+    if count == 0:
+        return 0.0, 0.0
+    mean = sum(values) / count
+    if count < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+    return mean, math.sqrt(variance / count)

@@ -1,0 +1,41 @@
+"""TIC-CTP convenience layer: topic model in, spread out.
+
+For a fixed ad, TIC-CTP collapses to IC-with-CTP over the Eq.-(1) mixed
+probabilities (Lemma 1's observation); these wrappers perform the collapse
+and delegate to :mod:`repro.diffusion.ic`.
+"""
+
+from __future__ import annotations
+
+from repro.diffusion.ic import estimate_spread
+from repro.diffusion.montecarlo import SpreadEstimate
+from repro.topics.distribution import TopicDistribution
+from repro.topics.model import TopicModel
+
+
+def tic_ctp_estimate_spread(
+    model: TopicModel,
+    distribution: TopicDistribution,
+    seeds,
+    *,
+    ctps=None,
+    num_runs: int = 10_000,
+    seed=None,
+) -> SpreadEstimate:
+    """Monte-Carlo ``σ_i(S)`` under the TIC-CTP model for ad ``~γ_i``.
+
+    ``ctps=None`` derives the CTPs from the topic model's per-topic
+    seeding probabilities (the §3 definition of ``δ(u, i)``); pass an
+    explicit per-node array to override (the §6 experimental setting).
+    """
+    edge_probs = model.ad_edge_probabilities(distribution)
+    if ctps is None:
+        ctps = model.ad_ctps(distribution)
+    return estimate_spread(
+        model.graph,
+        edge_probs,
+        seeds,
+        ctps=ctps,
+        num_runs=num_runs,
+        seed=seed,
+    )

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so a
+caller can guard an entire experiment with a single ``except ReproError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs: bad node ids, ragged CSR arrays, etc."""
+
+
+class TopicModelError(ReproError):
+    """Raised for invalid topic distributions or mismatched topic spaces."""
+
+class AllocationError(ReproError):
+    """Raised when an allocation violates attention bounds or references
+    unknown advertisers."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an algorithm is configured with invalid parameters."""
+
+
+class EstimationError(ReproError):
+    """Raised when a spread/coverage estimator cannot produce an estimate
+    (for example an empty RR-set collection)."""

@@ -1,0 +1,113 @@
+"""Experiment sweeps: the parameterised loops behind Figs. 3–6 and
+Tables 3–4.
+
+Each helper takes a *problem factory* (so every grid point gets a fresh
+instance with the right κ/λ), a dict of allocators, and an evaluation
+run count; it returns flat :class:`ExperimentRecord` rows that the
+benchmark harness prints in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.advertising.problem import AdAllocationProblem
+from repro.algorithms.base import AllocationResult, Allocator
+from repro.evaluation.evaluator import EvaluationReport, RegretEvaluator
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One grid point of one algorithm in one sweep."""
+
+    experiment: str
+    algorithm: str
+    parameters: Mapping[str, Any]
+    total_regret: float
+    relative_regret: float
+    num_targeted_users: int
+    total_seeds: int
+    runtime_seconds: float
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+
+def run_allocator(
+    problem: AdAllocationProblem,
+    allocator: Allocator,
+    *,
+    eval_runs: int = 1_000,
+    eval_seed=None,
+) -> tuple[AllocationResult, EvaluationReport]:
+    """Allocate, then referee with Monte Carlo — the §6 protocol."""
+    result = allocator.allocate(problem)
+    evaluator = RegretEvaluator(problem, num_runs=eval_runs, seed=eval_seed)
+    report = evaluator.evaluate(result.allocation, algorithm=allocator.name)
+    return result, report
+
+
+def _record(experiment, allocator_name, params, result, report) -> ExperimentRecord:
+    return ExperimentRecord(
+        experiment=experiment,
+        algorithm=allocator_name,
+        parameters=dict(params),
+        total_regret=report.total_regret,
+        relative_regret=report.regret.relative_to_budget(),
+        num_targeted_users=report.num_targeted_users,
+        total_seeds=report.total_seeds,
+        runtime_seconds=result.runtime_seconds,
+        extras={
+            "signed_gaps": report.regret.signed_budget_gaps().tolist(),
+            "stats": dict(result.stats),
+        },
+    )
+
+
+def sweep_attention_bounds(
+    experiment: str,
+    problem_factory: Callable[[int], AdAllocationProblem],
+    allocators: Mapping[str, Allocator],
+    attention_bounds,
+    *,
+    eval_runs: int = 1_000,
+    eval_seed=None,
+) -> list[ExperimentRecord]:
+    """The Fig.-3 / Table-3 sweep: regret and targeting vs. ``κ_u``.
+
+    ``problem_factory(kappa)`` must return the instance with that
+    uniform attention bound (and whatever λ the caller fixed).
+    """
+    records = []
+    for kappa in attention_bounds:
+        problem = problem_factory(int(kappa))
+        for name, allocator in allocators.items():
+            result, report = run_allocator(
+                problem, allocator, eval_runs=eval_runs, eval_seed=eval_seed
+            )
+            records.append(
+                _record(experiment, name, {"kappa": int(kappa)}, result, report)
+            )
+    return records
+
+
+def sweep_penalties(
+    experiment: str,
+    problem_factory: Callable[[float], AdAllocationProblem],
+    allocators: Mapping[str, Allocator],
+    penalties,
+    *,
+    eval_runs: int = 1_000,
+    eval_seed=None,
+) -> list[ExperimentRecord]:
+    """The Fig.-4 sweep: regret vs. λ at fixed κ."""
+    records = []
+    for penalty in penalties:
+        problem = problem_factory(float(penalty))
+        for name, allocator in allocators.items():
+            result, report = run_allocator(
+                problem, allocator, eval_runs=eval_runs, eval_seed=eval_seed
+            )
+            records.append(
+                _record(experiment, name, {"lambda": float(penalty)}, result, report)
+            )
+    return records

@@ -1,0 +1,72 @@
+"""Exporting experiment records to CSV / JSON.
+
+The benchmark harness prints paper-layout tables; downstream analysis
+(plotting, regression dashboards) wants machine-readable records.  Both
+exporters flatten :class:`~repro.evaluation.experiments.ExperimentRecord`
+rows the same way: one row per (experiment, algorithm, grid point).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.evaluation.experiments import ExperimentRecord
+
+_BASE_FIELDS = (
+    "experiment",
+    "algorithm",
+    "total_regret",
+    "relative_regret",
+    "num_targeted_users",
+    "total_seeds",
+    "runtime_seconds",
+)
+
+
+def record_to_dict(record: ExperimentRecord, *, include_extras: bool = False) -> dict:
+    """Flatten one record: base fields + ``param_*`` columns."""
+    row = {field: getattr(record, field) for field in _BASE_FIELDS}
+    for key, value in sorted(record.parameters.items()):
+        row[f"param_{key}"] = value
+    if include_extras:
+        row["extras"] = dict(record.extras)
+    return row
+
+
+def records_to_json(
+    records: Sequence[ExperimentRecord],
+    path=None,
+    *,
+    include_extras: bool = True,
+    indent: int = 2,
+) -> str:
+    """Serialise records to JSON; writes to ``path`` when given."""
+    payload = [record_to_dict(r, include_extras=include_extras) for r in records]
+    text = json.dumps(payload, indent=indent, default=float)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def records_to_csv(records: Sequence[ExperimentRecord], path) -> None:
+    """Write records as CSV with a union-of-parameters header.
+
+    Records from different sweeps may carry different parameter names;
+    missing cells are left empty.
+    """
+    rows = [record_to_dict(r) for r in records]
+    param_fields = sorted({k for row in rows for k in row if k.startswith("param_")})
+    fieldnames = list(_BASE_FIELDS) + param_fields
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in fieldnames})
+
+
+def load_records_json(path) -> list[dict]:
+    """Read back a JSON export (as plain dicts, for analysis scripts)."""
+    return json.loads(Path(path).read_text())

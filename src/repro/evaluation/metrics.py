@@ -1,0 +1,39 @@
+"""Derived metrics used across the §6 figures and tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.regret import RegretBreakdown
+
+
+def relative_regret(breakdown: RegretBreakdown) -> float:
+    """Total regret as a fraction of total budget (the §6.1 headline)."""
+    return breakdown.relative_to_budget()
+
+
+def targeted_node_counts(allocations: "dict[str, Allocation]") -> dict[str, int]:
+    """Distinct targeted users per algorithm — one Table-3 cell each."""
+    return {name: len(a.targeted_users()) for name, a in allocations.items()}
+
+
+def overshoot_count(breakdown: RegretBreakdown) -> int:
+    """How many ads ended with revenue above budget (Fig. 5 discussion)."""
+    return int(np.sum(breakdown.signed_budget_gaps() > 0))
+
+
+def undershoot_count(breakdown: RegretBreakdown) -> int:
+    """How many ads fell short of their budget."""
+    return int(np.sum(breakdown.signed_budget_gaps() < 0))
+
+
+def regret_skew(breakdown: RegretBreakdown) -> float:
+    """Max/median ratio of per-ad budget-regrets — the "heavy skew" the
+    paper observes for Greedy-IRIE on Flixster (Fig. 5a).  Returns 0 for
+    degenerate (all-zero) regret vectors."""
+    regrets = breakdown.budget_regrets()
+    median = float(np.median(regrets))
+    if median <= 0:
+        return 0.0
+    return float(regrets.max() / median)

@@ -1,0 +1,111 @@
+"""Statistical comparison utilities for experiment reports.
+
+The paper compares algorithms by point estimates over 10K MC runs; at
+the reduced scales this reproduction runs at, sampling noise matters, so
+the benchmark analysis uses bootstrap confidence intervals and paired
+comparisons from per-ad regret vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A bootstrap percentile confidence interval for a mean."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __repr__(self) -> str:
+        return (
+            f"BootstrapInterval({self.estimate:.4g} "
+            f"[{self.low:.4g}, {self.high:.4g}] @ {self.confidence:.0%})"
+        )
+
+
+def bootstrap_mean(
+    values,
+    *,
+    confidence: float = 0.95,
+    num_resamples: int = 2_000,
+    seed=None,
+) -> BootstrapInterval:
+    """Percentile-bootstrap CI for the mean of ``values``."""
+    array = np.asarray(values, dtype=np.float64).ravel()
+    if array.size == 0:
+        raise ValueError("values must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if num_resamples < 1:
+        raise ValueError("num_resamples must be >= 1")
+    rng = as_generator(seed)
+    samples = rng.choice(array, size=(num_resamples, array.size), replace=True)
+    means = samples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        estimate=float(array.mean()),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Bootstrap comparison of two paired per-ad regret vectors."""
+
+    mean_difference: float
+    interval: BootstrapInterval
+    win_rate: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI of the difference excludes zero."""
+        return not self.interval.contains(0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"PairedComparison(diff={self.mean_difference:.4g}, "
+            f"win_rate={self.win_rate:.0%}, significant={self.significant})"
+        )
+
+
+def paired_regret_comparison(
+    regrets_a,
+    regrets_b,
+    *,
+    confidence: float = 0.95,
+    num_resamples: int = 2_000,
+    seed=None,
+) -> PairedComparison:
+    """Compare per-ad regrets of algorithm A vs B (paired by ad).
+
+    ``mean_difference < 0`` with ``significant`` means A's regret is
+    reliably lower.  ``win_rate`` is the fraction of ads where A beats B.
+    """
+    a = np.asarray(regrets_a, dtype=np.float64).ravel()
+    b = np.asarray(regrets_b, dtype=np.float64).ravel()
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("regret vectors must be non-empty and aligned")
+    differences = a - b
+    interval = bootstrap_mean(
+        differences, confidence=confidence, num_resamples=num_resamples, seed=seed
+    )
+    return PairedComparison(
+        mean_difference=float(differences.mean()),
+        interval=interval,
+        win_rate=float((differences < 0).mean()),
+    )

@@ -1,0 +1,33 @@
+"""Vectorised frontier expansion — the shared BFS primitive.
+
+Given a CSR ``indptr`` and a frontier of node ids, :func:`gather_edge_slots`
+returns the flat positions (into the CSR's adjacency arrays) of every edge
+incident to the frontier — without any per-node Python loop.  This is the
+primitive that keeps Monte-Carlo simulation, reverse BFS and connectivity
+algorithms fast in pure numpy (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def gather_edge_slots(indptr: np.ndarray, frontier: np.ndarray) -> np.ndarray:
+    """Flat CSR slot indices for all edges of all ``frontier`` nodes.
+
+    Equivalent to ``np.concatenate([np.arange(indptr[u], indptr[u+1])
+    for u in frontier])`` but fully vectorised.
+    """
+    if frontier.size == 0:
+        return _EMPTY
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY
+    # position of each output element within its node's slice
+    cumulative = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(cumulative - counts, counts)
+    return np.repeat(starts, counts) + within

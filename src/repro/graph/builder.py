@@ -1,0 +1,81 @@
+"""Incremental construction of :class:`~repro.graph.DirectedGraph`.
+
+The CSR graph is immutable; :class:`GraphBuilder` is the mutable staging
+area used by generators and file readers.  It deduplicates edges and drops
+self-loops on request so callers can stream noisy edge lists through it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DirectedGraph
+
+
+class GraphBuilder:
+    """Accumulates edges, then produces an immutable :class:`DirectedGraph`.
+
+    Parameters
+    ----------
+    num_nodes:
+        Fixed node-count, or ``None`` to infer ``max id + 1`` at build time.
+    skip_self_loops:
+        Silently drop ``(u, u)`` edges instead of failing at build time.
+    skip_duplicates:
+        Silently keep the first occurrence of a repeated edge.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int | None = None,
+        *,
+        skip_self_loops: bool = False,
+        skip_duplicates: bool = False,
+    ) -> None:
+        self._num_nodes = num_nodes
+        self._skip_self_loops = skip_self_loops
+        self._skip_duplicates = skip_duplicates
+        self._sources: list[int] = []
+        self._targets: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def add_edge(self, source: int, target: int) -> "GraphBuilder":
+        """Add one directed edge; returns ``self`` for chaining."""
+        if source == target and self._skip_self_loops:
+            return self
+        self._sources.append(int(source))
+        self._targets.append(int(target))
+        return self
+
+    def add_edges(self, edges) -> "GraphBuilder":
+        """Add many ``(source, target)`` pairs; returns ``self``."""
+        for source, target in edges:
+            self.add_edge(source, target)
+        return self
+
+    def add_undirected_edge(self, u: int, v: int) -> "GraphBuilder":
+        """Add both ``(u, v)`` and ``(v, u)``."""
+        return self.add_edge(u, v).add_edge(v, u)
+
+    def build(self) -> DirectedGraph:
+        """Produce the immutable CSR graph.
+
+        Raises
+        ------
+        GraphError
+            If a self-loop or duplicate remains and the corresponding
+            ``skip_*`` flag is off, or node ids exceed ``num_nodes``.
+        """
+        src = np.asarray(self._sources, dtype=np.int64)
+        dst = np.asarray(self._targets, dtype=np.int64)
+        if self._skip_duplicates and src.size:
+            pairs = np.stack((src, dst), axis=1)
+            pairs = np.unique(pairs, axis=0)
+            src, dst = pairs[:, 0], pairs[:, 1]
+        num_nodes = self._num_nodes
+        if num_nodes is None:
+            num_nodes = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+        return DirectedGraph(num_nodes, src, dst)

@@ -1,0 +1,121 @@
+"""Connectivity algorithms over the CSR graph.
+
+Used for dataset diagnostics (the §6 networks are dominated by one giant
+component) and by tests as structural sanity checks.  Implemented
+iteratively — no recursion limits on large graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph._traversal import gather_edge_slots
+from repro.graph.digraph import DirectedGraph
+
+
+def bfs_distances(graph: DirectedGraph, source: int) -> np.ndarray:
+    """Hop distances from ``source`` along out-edges (−1 if unreachable)."""
+    if not 0 <= source < graph.num_nodes:
+        raise ValueError(f"source {source} out of range")
+    distances = np.full(graph.num_nodes, -1, dtype=np.int64)
+    distances[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    hops = 0
+    while frontier.size:
+        hops += 1
+        slots = gather_edge_slots(graph.out_indptr, frontier)
+        if slots.size == 0:
+            break
+        targets = graph.out_targets[slots]
+        fresh = np.unique(targets[distances[targets] < 0])
+        if fresh.size == 0:
+            break
+        distances[fresh] = hops
+        frontier = fresh
+    return distances
+
+
+def weakly_connected_components(graph: DirectedGraph) -> np.ndarray:
+    """Component label per node, ignoring edge directions.
+
+    Labels are dense integers ``0..c-1`` in order of first discovery.
+    """
+    labels = np.full(graph.num_nodes, -1, dtype=np.int64)
+    current = 0
+    for start in range(graph.num_nodes):
+        if labels[start] >= 0:
+            continue
+        labels[start] = current
+        frontier = np.asarray([start], dtype=np.int64)
+        while frontier.size:
+            out_slots = gather_edge_slots(graph.out_indptr, frontier)
+            in_slots = gather_edge_slots(graph.in_indptr, frontier)
+            neighbors = np.concatenate(
+                (graph.out_targets[out_slots], graph.in_sources[in_slots])
+            )
+            fresh = np.unique(neighbors[labels[neighbors] < 0]) if neighbors.size else neighbors
+            labels[fresh] = current
+            frontier = fresh
+        current += 1
+    return labels
+
+
+def strongly_connected_components(graph: DirectedGraph) -> np.ndarray:
+    """Component label per node (iterative Tarjan).
+
+    Labels are dense integers; nodes share a label iff they are mutually
+    reachable.
+    """
+    n = graph.num_nodes
+    index = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    labels = np.full(n, -1, dtype=np.int64)
+    stack: list[int] = []
+    next_index = 0
+    next_label = 0
+
+    for root in range(n):
+        if index[root] >= 0:
+            continue
+        # Each work frame: (node, position in its adjacency slice).
+        work = [(root, graph.out_indptr[root])]
+        index[root] = lowlink[root] = next_index
+        next_index += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, position = work[-1]
+            if position < graph.out_indptr[node + 1]:
+                work[-1] = (node, position + 1)
+                child = int(graph.out_targets[position])
+                if index[child] < 0:
+                    index[child] = lowlink[child] = next_index
+                    next_index += 1
+                    stack.append(child)
+                    on_stack[child] = True
+                    work.append((child, graph.out_indptr[child]))
+                elif on_stack[child]:
+                    lowlink[node] = min(lowlink[node], index[child])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        labels[member] = next_label
+                        if member == node:
+                            break
+                    next_label += 1
+    return labels
+
+
+def largest_component_fraction(graph: DirectedGraph) -> float:
+    """Fraction of nodes in the largest weakly connected component."""
+    if graph.num_nodes == 0:
+        return 0.0
+    labels = weakly_connected_components(graph)
+    return float(np.bincount(labels).max() / graph.num_nodes)

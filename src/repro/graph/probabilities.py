@@ -1,0 +1,60 @@
+"""Per-edge influence-probability assignments.
+
+These implement the probability regimes used across the paper's evaluation:
+
+* **weighted cascade** (§6.2): ``p_{u,v} = 1 / |N_in(v)|`` — used for the
+  DBLP and LiveJournal scalability runs;
+* **exponential via inverse transform** (§6, Epinions): probabilities drawn
+  from an exponential distribution (rate 30, i.e. mean 1/30 ≈ 0.033) by
+  applying the inverse CDF to uniform draws, clipped to [0, 1];
+* **trivalency**: the classic {0.1, 0.01, 0.001} model of Chen et al.;
+* **constant**: a single value everywhere (test fixtures, toy graphs).
+
+All functions return a float64 array aligned with canonical edge ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DirectedGraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+
+def constant_probabilities(graph: DirectedGraph, value: float) -> np.ndarray:
+    """Every edge gets probability ``value``."""
+    check_probability("value", value)
+    return np.full(graph.num_edges, float(value), dtype=np.float64)
+
+
+def weighted_cascade_probabilities(graph: DirectedGraph) -> np.ndarray:
+    """``p_{u,v} = 1 / in_degree(v)`` (Chen et al. [7], used in §6.2)."""
+    in_deg = graph.in_degrees().astype(np.float64)
+    # Every edge target has in-degree >= 1 by construction.
+    return 1.0 / in_deg[graph.edge_targets]
+
+
+def trivalency_probabilities(graph: DirectedGraph, values=(0.1, 0.01, 0.001), *, seed=None):
+    """Each edge draws uniformly from ``values`` (trivalency model)."""
+    rng = as_generator(seed)
+    choices = np.asarray(values, dtype=np.float64)
+    if choices.size == 0:
+        raise ValueError("values must be non-empty")
+    for v in choices:
+        check_probability("values", float(v))
+    return choices[rng.integers(0, choices.size, size=graph.num_edges)]
+
+
+def exponential_probabilities(graph: DirectedGraph, *, rate: float = 30.0, seed=None):
+    """Exponential(rate) probabilities via the inverse-transform technique.
+
+    Matches the Epinions setup in §6: uniform draws ``u ~ U(0, 1)`` mapped
+    through the exponential inverse CDF ``-ln(1-u)/rate`` (mean ``1/rate``),
+    clipped to 1.0 so results stay valid probabilities.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    rng = as_generator(seed)
+    uniform = rng.random(graph.num_edges)
+    return np.minimum(-np.log1p(-uniform) / rate, 1.0)

@@ -1,0 +1,53 @@
+"""Graph summary statistics (the Table-1 style dataset descriptions)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import DirectedGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary of a graph, mirroring the paper's Table 1 columns."""
+
+    num_nodes: int
+    num_edges: int
+    avg_out_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    density: float
+    num_reciprocal_edges: int
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"|V|={self.num_nodes} |E|={self.num_edges} "
+            f"avg_out_deg={self.avg_out_degree:.2f} "
+            f"max_out_deg={self.max_out_degree} max_in_deg={self.max_in_degree} "
+            f"density={self.density:.2e} reciprocal={self.num_reciprocal_edges}"
+        )
+
+
+def graph_stats(graph: DirectedGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    n, m = graph.num_nodes, graph.num_edges
+    out_deg = graph.out_degrees()
+    in_deg = graph.in_degrees()
+    if m:
+        forward = graph.edge_sources * graph.num_nodes + graph.edge_targets
+        backward = graph.edge_targets * graph.num_nodes + graph.edge_sources
+        reciprocal = int(np.isin(forward, backward).sum())
+    else:
+        reciprocal = 0
+    return GraphStats(
+        num_nodes=n,
+        num_edges=m,
+        avg_out_degree=float(out_deg.mean()) if n else 0.0,
+        max_out_degree=int(out_deg.max()) if n else 0,
+        max_in_degree=int(in_deg.max()) if n else 0,
+        density=float(m) / (n * (n - 1)) if n > 1 else 0.0,
+        num_reciprocal_edges=reciprocal,
+    )

@@ -1,0 +1,40 @@
+"""Reverse-reachable-set machinery (§5.1–5.2).
+
+* :mod:`repro.rrset.sampler` — random RR-sets (reverse BFS with lazy edge
+  coins) for a fixed ad's Eq.-(1) probabilities;
+* :mod:`repro.rrset.rrc` — RRC-sets: RR-sets with the extra per-node CTP
+  coin flips of §5.2;
+* :mod:`repro.rrset.collection` — a coverage index over sampled sets with
+  the lazy-deletion bookkeeping TIRM needs;
+* :mod:`repro.rrset.tim` — the TIM ingredients: ``L(s, ε)`` (Eq. 5), OPT
+  lower-bound estimation, greedy max-cover, and a standalone TIM
+  influence maximizer;
+* :mod:`repro.rrset.estimator` — spread estimation ``n · F_R(S)``
+  (Proposition 1 / Lemma 2).
+"""
+
+from repro.rrset.collection import RRSetCollection
+from repro.rrset.estimator import RRSetSpreadOracle, estimate_spread_from_sets
+from repro.rrset.rrc import sample_rrc_set, sample_rrc_sets
+from repro.rrset.sampler import RRSetSampler, sample_rr_set, sample_rr_sets
+from repro.rrset.tim import (
+    TIMInfluenceMaximizer,
+    greedy_max_coverage,
+    log_binomial,
+    required_rr_sets,
+)
+
+__all__ = [
+    "sample_rr_set",
+    "sample_rr_sets",
+    "RRSetSampler",
+    "sample_rrc_set",
+    "sample_rrc_sets",
+    "RRSetCollection",
+    "estimate_spread_from_sets",
+    "RRSetSpreadOracle",
+    "required_rr_sets",
+    "log_binomial",
+    "greedy_max_coverage",
+    "TIMInfluenceMaximizer",
+]

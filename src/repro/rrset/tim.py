@@ -1,0 +1,225 @@
+"""TIM ingredients (Tang et al. [25]) reused by TIRM (§5.1).
+
+* :func:`required_rr_sets` — Eq. (5): the sample size ``L(s, ε)`` that
+  makes ``n · F_R(S)`` an ``(ε/2)·OPT_s``-accurate spread estimator for
+  all seed sets of size ≤ s (Proposition 2);
+* :func:`estimate_opt_lower_bound` — a pilot-sample greedy estimate of a
+  lower bound on ``OPT_s`` (the greedy cover's spread is achievable,
+  hence a lower bound on the optimum);
+* :func:`kpt_estimation` — the original KPT* estimator of TIM's phase 1,
+  kept for reference and cross-checking;
+* :func:`greedy_max_coverage` — the Max s-Cover greedy of TIM's phase 2;
+* :class:`TIMInfluenceMaximizer` — a standalone (1 − 1/e − ε)
+  influence maximizer, used by the AB2 ablation and as a public API for
+  classic influence maximization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.graph.digraph import DirectedGraph
+from repro.rrset.collection import RRSetCollection
+from repro.rrset.sampler import RRSetSampler
+from repro.utils.rng import as_generator
+
+
+def log_binomial(n: int, k: int) -> float:
+    """``log C(n, k)`` via lgamma (exact enough for Eq. 5)."""
+    if k < 0 or k > n:
+        return float("-inf")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def required_rr_sets(
+    num_nodes: int,
+    s: int,
+    epsilon: float,
+    opt_lower_bound: float,
+    *,
+    ell: float = 1.0,
+) -> int:
+    """Eq. (5): ``L(s, ε) = (8 + 2ε) n (ℓ log n + log C(n, s) + log 2) /
+    (OPT_s · ε²)``, rounded up.
+
+    ``opt_lower_bound`` stands in for the unknown ``OPT_s``; a lower bound
+    keeps the guarantee (more samples than strictly necessary).
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if opt_lower_bound <= 0:
+        raise ValueError(f"opt_lower_bound must be > 0, got {opt_lower_bound}")
+    if ell <= 0:
+        raise ValueError(f"ell must be > 0, got {ell}")
+    s = min(max(int(s), 1), num_nodes)
+    n = float(num_nodes)
+    numerator = (8.0 + 2.0 * epsilon) * n * (
+        ell * math.log(n) + log_binomial(num_nodes, s) + math.log(2.0)
+    )
+    return int(math.ceil(numerator / (opt_lower_bound * epsilon**2)))
+
+
+def greedy_max_coverage(
+    sets: list[np.ndarray],
+    num_nodes: int,
+    k: int,
+    *,
+    eligible=None,
+) -> tuple[list[int], int]:
+    """Greedy Max k-Cover over RR-sets (TIM phase 2).
+
+    Returns the chosen nodes (in selection order) and the number of sets
+    they jointly cover.  ``eligible`` optionally restricts candidates to a
+    boolean mask over nodes.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    collection = RRSetCollection(num_nodes)
+    collection.add_sets(sets)
+    coverage = collection.coverage()
+    mask = None
+    if eligible is not None:
+        mask = np.asarray(eligible, dtype=bool)
+        if mask.shape != (num_nodes,):
+            raise ValueError(f"eligible must have shape ({num_nodes},)")
+    chosen: list[int] = []
+    covered = 0
+    for _ in range(min(k, num_nodes)):
+        if mask is None:
+            best = int(np.argmax(coverage))
+        else:
+            if not mask.any():
+                break
+            scores = np.where(mask, coverage, -1)
+            best = int(np.argmax(scores))
+        if coverage[best] <= 0:
+            break
+        covered += collection.remove_covered(best)
+        chosen.append(best)
+        if mask is not None:
+            mask[best] = False
+    return chosen, covered
+
+
+def estimate_opt_lower_bound(
+    sampler: RRSetSampler,
+    s: int,
+    *,
+    pilot_sets: int = 2_000,
+    existing: list[np.ndarray] | None = None,
+) -> float:
+    """Pilot estimate of a lower bound on ``OPT_s`` under plain IC.
+
+    Greedily covers ``s`` seeds on a pilot sample; ``n · (covered/θ)`` is
+    an estimate of the greedy set's spread, which lower-bounds the
+    optimum.  The result is floored at ``s`` because any ``s`` distinct
+    seeds have spread at least ``s`` under IC without CTPs.
+    """
+    sets = list(existing) if existing else []
+    if len(sets) < pilot_sets:
+        sets.extend(sampler.sample(pilot_sets - len(sets)))
+    if not sets:
+        raise EstimationError("cannot estimate OPT from zero RR-sets")
+    n = sampler.graph.num_nodes
+    _, covered = greedy_max_coverage(sets, n, s)
+    estimate = n * covered / len(sets)
+    return float(max(estimate, min(s, n), 1.0))
+
+
+def kpt_estimation(
+    graph: DirectedGraph,
+    edge_probabilities,
+    s: int,
+    *,
+    ell: float = 1.0,
+    seed=None,
+) -> float:
+    """TIM's phase-1 KPT estimator (Algorithm 2 of Tang et al. [25]).
+
+    Returns a value that, with high probability, lower-bounds ``OPT_s``.
+    Kept for reference/cross-checks; TIRM defaults to the greedy pilot of
+    :func:`estimate_opt_lower_bound`, which behaves better at the small
+    scales this reproduction runs at.
+    """
+    n, m = graph.num_nodes, graph.num_edges
+    if n < 2 or m == 0:
+        return 1.0
+    rng = as_generator(seed)
+    sampler = RRSetSampler(graph, edge_probabilities, seed=rng)
+    in_degrees = graph.in_degrees()
+    log2n = max(int(math.floor(math.log2(n))), 1)
+    s = min(max(int(s), 1), n)
+    for i in range(1, log2n):
+        c_i = int(math.ceil((6.0 * ell * math.log(n) + 6.0 * math.log(log2n)) * 2.0**i))
+        kappa_sum = 0.0
+        for rr_set in sampler.sample(c_i):
+            width = float(in_degrees[rr_set].sum())
+            kappa_sum += 1.0 - (1.0 - width / m) ** s
+        if kappa_sum / c_i > 1.0 / (2.0**i):
+            return max(n * kappa_sum / (2.0 * c_i), 1.0)
+    return 1.0
+
+
+@dataclass(frozen=True)
+class TIMResult:
+    """Output of the standalone TIM influence maximizer."""
+
+    seeds: list[int]
+    estimated_spread: float
+    num_rr_sets: int
+
+
+class TIMInfluenceMaximizer:
+    """Classic TIM: near-linear-time influence maximization (§5.1).
+
+    Provides a ``(1 − 1/e − ε)``-approximate seed set of a requested size
+    under the IC model.  TIRM does *not* call this class (its seed count
+    is dynamic); it exists as a public API and as the fixed-``s``
+    comparator in the AB2 ablation bench.
+    """
+
+    def __init__(
+        self,
+        graph: DirectedGraph,
+        edge_probabilities,
+        *,
+        epsilon: float = 0.1,
+        ell: float = 1.0,
+        max_rr_sets: int = 1_000_000,
+        pilot_sets: int = 2_000,
+        seed=None,
+    ) -> None:
+        if max_rr_sets < 1:
+            raise ValueError("max_rr_sets must be >= 1")
+        self.graph = graph
+        self.epsilon = float(epsilon)
+        self.ell = float(ell)
+        self.max_rr_sets = int(max_rr_sets)
+        self.pilot_sets = int(pilot_sets)
+        self._sampler = RRSetSampler(graph, edge_probabilities, seed=seed)
+        self._sets: list[np.ndarray] = []
+
+    def select(self, k: int) -> TIMResult:
+        """Choose ``k`` seeds; returns them with the estimated spread."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        n = self.graph.num_nodes
+        if len(self._sets) < self.pilot_sets:
+            self._sets.extend(self._sampler.sample(self.pilot_sets - len(self._sets)))
+        opt_lb = estimate_opt_lower_bound(
+            self._sampler, k, pilot_sets=len(self._sets), existing=self._sets
+        )
+        theta = min(
+            required_rr_sets(n, k, self.epsilon, opt_lb, ell=self.ell), self.max_rr_sets
+        )
+        if len(self._sets) < theta:
+            self._sets.extend(self._sampler.sample(theta - len(self._sets)))
+        seeds, covered = greedy_max_coverage(self._sets, n, k)
+        spread = n * covered / len(self._sets)
+        return TIMResult(seeds=seeds, estimated_spread=spread, num_rr_sets=len(self._sets))

@@ -1,0 +1,37 @@
+"""Topic model of §3: ad topic distributions, per-topic influence
+probabilities, and click-through probabilities (CTPs).
+
+The host owns a precomputed probabilistic topic model over ``K`` latent
+topics.  An ad ``i`` is a distribution ``~γ_i`` over topics
+(:class:`TopicDistribution`); the network carries per-topic edge
+probabilities ``p^z_{u,v}`` and per-topic seeding probabilities
+``p^z_{H,u}`` (:class:`TopicModel`).  Collapsing a topic model with a
+specific ``~γ_i`` through Eq. (1) yields an ordinary IC instance with CTPs,
+which is what the diffusion and RR-set machinery consume.
+"""
+
+from repro.topics.ctp import ctps_from_topic_model, uniform_ctps
+from repro.topics.distribution import TopicDistribution
+from repro.topics.learning import (
+    Cascade,
+    em_estimate_edge_probabilities,
+    generate_cascades,
+    learn_topic_model,
+)
+from repro.topics.mixing import mix_edge_probabilities, mix_node_probabilities
+from repro.topics.model import TopicModel
+from repro.topics.synthetic import synthetic_topic_model
+
+__all__ = [
+    "TopicDistribution",
+    "TopicModel",
+    "mix_edge_probabilities",
+    "mix_node_probabilities",
+    "uniform_ctps",
+    "ctps_from_topic_model",
+    "synthetic_topic_model",
+    "Cascade",
+    "generate_cascades",
+    "em_estimate_edge_probabilities",
+    "learn_topic_model",
+]

@@ -1,0 +1,51 @@
+"""Click-through probabilities ``δ(u, i)``.
+
+The paper's quality experiments (§6) sample CTPs uniformly at random from
+``[0.01, 0.03]`` independently per (user, ad) pair, "in keeping with
+real-life CTPs"; the scalability experiments set them to 1.  When a full
+topic model is available, CTPs can instead be derived from the per-topic
+seeding probabilities through Eq. (1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topics.distribution import TopicDistribution
+from repro.topics.model import TopicModel
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+
+def uniform_ctps(
+    num_ads: int,
+    num_nodes: int,
+    low: float = 0.01,
+    high: float = 0.03,
+    *,
+    seed=None,
+) -> np.ndarray:
+    """``(h, n)`` CTP matrix with i.i.d. ``U[low, high]`` entries (§6)."""
+    check_probability("low", low)
+    check_probability("high", high)
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    rng = as_generator(seed)
+    return rng.uniform(low, high, size=(num_ads, num_nodes))
+
+
+def constant_ctps(num_ads: int, num_nodes: int, value: float = 1.0) -> np.ndarray:
+    """``(h, n)`` CTP matrix with a single value everywhere.
+
+    ``value=1`` reproduces the §6.2 scalability setting (CTP = CPE = 1).
+    """
+    check_probability("value", value)
+    return np.full((num_ads, num_nodes), float(value), dtype=np.float64)
+
+
+def ctps_from_topic_model(
+    model: TopicModel, distributions: "list[TopicDistribution]"
+) -> np.ndarray:
+    """``(h, n)`` CTPs derived from a topic model: row ``i`` is the Eq.-(1)
+    mix of ``p^z_{H,u}`` under ad ``i``'s topic distribution."""
+    return np.stack([model.ad_ctps(dist) for dist in distributions], axis=0)

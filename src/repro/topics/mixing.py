@@ -1,0 +1,37 @@
+"""Eq. (1): collapsing per-topic probabilities through an ad's ``~γ_i``.
+
+``p^i_{u,v} = Σ_z γ^z_i · p^z_{u,v}`` — the weighted average of the
+per-topic arc probabilities w.r.t. the topic distribution of ad ``i``.
+The same mixing applies to per-topic node quantities (the seeding
+probabilities ``p^z_{H,u}`` that yield CTPs ``δ(u, i)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopicModelError
+from repro.topics.distribution import TopicDistribution
+
+
+def _mix(per_topic: np.ndarray, distribution: TopicDistribution, what: str) -> np.ndarray:
+    matrix = np.asarray(per_topic, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise TopicModelError(f"{what} must be a (K, ·) matrix, got shape {matrix.shape}")
+    if matrix.shape[0] != distribution.num_topics:
+        raise TopicModelError(
+            f"{what} has {matrix.shape[0]} topics but the distribution has "
+            f"{distribution.num_topics}"
+        )
+    return distribution.gamma @ matrix
+
+
+def mix_edge_probabilities(per_topic_edge_probs, distribution: TopicDistribution) -> np.ndarray:
+    """Collapse a ``(K, m)`` per-topic edge matrix to per-edge ``p^i_{u,v}``."""
+    return _mix(per_topic_edge_probs, distribution, "per_topic_edge_probs")
+
+
+def mix_node_probabilities(per_topic_node_probs, distribution: TopicDistribution) -> np.ndarray:
+    """Collapse a ``(K, n)`` per-topic node matrix to per-node values
+    (e.g. seeding probabilities ``p^z_{H,u}`` to CTPs ``δ(u, i)``)."""
+    return _mix(per_topic_node_probs, distribution, "per_topic_node_probs")

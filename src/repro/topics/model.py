@@ -1,0 +1,88 @@
+"""The topic-aware influence model (TIC with CTPs, §3).
+
+A :class:`TopicModel` bundles, for a fixed graph and ``K`` latent topics:
+
+* ``edge_probs`` — a ``(K, m)`` matrix of per-topic arc probabilities
+  ``p^z_{u,v}`` in canonical edge order;
+* ``seed_probs`` — a ``(K, n)`` matrix of per-topic seeding probabilities
+  ``p^z_{H,u}`` (the likelihood that user ``u`` clicks a promoted post on
+  topic ``z`` with no social proof).
+
+Collapsing through an ad's topic distribution (Eq. 1) yields the ordinary
+IC-with-CTP instance that every algorithm in this library consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopicModelError
+from repro.graph.digraph import DirectedGraph
+from repro.topics.distribution import TopicDistribution
+from repro.topics.mixing import mix_edge_probabilities, mix_node_probabilities
+from repro.utils.validation import check_probability_array
+
+
+class TopicModel:
+    """Per-topic edge and seeding probabilities over a fixed graph.
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    edge_probs:
+        ``(K, m)`` matrix, ``edge_probs[z, e]`` = ``p^z_{u,v}`` for
+        canonical edge ``e``.
+    seed_probs:
+        ``(K, n)`` matrix, ``seed_probs[z, u]`` = ``p^z_{H,u}``.
+    """
+
+    __slots__ = ("graph", "edge_probs", "seed_probs")
+
+    def __init__(self, graph: DirectedGraph, edge_probs, seed_probs) -> None:
+        edge_probs = check_probability_array("edge_probs", edge_probs)
+        seed_probs = check_probability_array("seed_probs", seed_probs)
+        if edge_probs.ndim != 2 or edge_probs.shape[1] != graph.num_edges:
+            raise TopicModelError(
+                f"edge_probs must be (K, {graph.num_edges}), got {edge_probs.shape}"
+            )
+        if seed_probs.ndim != 2 or seed_probs.shape[1] != graph.num_nodes:
+            raise TopicModelError(
+                f"seed_probs must be (K, {graph.num_nodes}), got {seed_probs.shape}"
+            )
+        if edge_probs.shape[0] != seed_probs.shape[0]:
+            raise TopicModelError(
+                "edge_probs and seed_probs must agree on K: "
+                f"{edge_probs.shape[0]} vs {seed_probs.shape[0]}"
+            )
+        self.graph = graph
+        self.edge_probs = edge_probs
+        self.seed_probs = seed_probs
+
+    @property
+    def num_topics(self) -> int:
+        """Number of latent topics ``K``."""
+        return int(self.edge_probs.shape[0])
+
+    def ad_edge_probabilities(self, distribution: TopicDistribution) -> np.ndarray:
+        """Eq. (1): per-edge probabilities ``p^i_{u,v}`` for an ad."""
+        return mix_edge_probabilities(self.edge_probs, distribution)
+
+    def ad_ctps(self, distribution: TopicDistribution) -> np.ndarray:
+        """Per-node CTPs ``δ(u, i)`` for an ad (weighted average of
+        ``p^z_{H,u}`` w.r.t. the ad's topic distribution, §3)."""
+        return mix_node_probabilities(self.seed_probs, distribution)
+
+    def collapse(self, distribution: TopicDistribution) -> tuple[np.ndarray, np.ndarray]:
+        """Both Eq.-(1) mixes at once: ``(edge_probabilities, ctps)``."""
+        return self.ad_edge_probabilities(distribution), self.ad_ctps(distribution)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the probability matrices."""
+        return int(self.edge_probs.nbytes + self.seed_probs.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"TopicModel(K={self.num_topics}, n={self.graph.num_nodes}, "
+            f"m={self.graph.num_edges})"
+        )

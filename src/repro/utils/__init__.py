@@ -1,0 +1,20 @@
+"""Shared utilities: random-number handling, validation, timing."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_probability_array,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_probability_array",
+]

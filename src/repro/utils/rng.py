@@ -1,0 +1,45 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument that
+may be ``None`` (fresh OS entropy), an ``int`` (deterministic), or an
+existing :class:`numpy.random.Generator` (shared stream).  This module
+centralises the conversion so that all modules behave identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic stream, a
+        :class:`numpy.random.SeedSequence`, or an existing ``Generator``
+        (returned unchanged, so the caller shares its stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed, count: int) -> list[np.random.Generator]:
+    """Split ``seed`` into ``count`` statistically independent generators.
+
+    Used when an algorithm runs several samplers (one per advertiser, one
+    per worker) that must not share a stream yet must stay reproducible
+    from a single seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the parent stream deterministically.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

@@ -1,0 +1,31 @@
+"""Wall-clock timing helper used by the scalability benchmarks (Fig. 6)."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer(elapsed={self.elapsed:.6f}s)"

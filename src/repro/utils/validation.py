@@ -1,0 +1,45 @@
+"""Small argument-validation helpers used across the library.
+
+These raise :class:`ValueError` (or :class:`repro.errors.ConfigurationError`
+where a whole configuration is at fault) with messages that name the
+offending argument, so failures surface at the API boundary instead of deep
+inside numpy kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (``> 0``; ``>= 0`` if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate a scalar probability in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_probability_array(name: str, values) -> np.ndarray:
+    """Validate an array of probabilities; returns a float64 ndarray."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size and (array.min() < 0.0 or array.max() > 1.0):
+        raise ValueError(
+            f"{name} must contain probabilities in [0, 1]; "
+            f"range was [{array.min()}, {array.max()}]"
+        )
+    return array
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Validate ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value

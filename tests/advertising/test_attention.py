@@ -1,0 +1,52 @@
+"""Attention bounds κ_u."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.attention import AttentionBounds
+from repro.errors import AllocationError
+
+
+def test_uniform():
+    bounds = AttentionBounds.uniform(5, 2)
+    assert bounds.num_nodes == 5
+    assert bounds[3] == 2
+
+
+def test_unlimited_equals_num_ads():
+    bounds = AttentionBounds.unlimited(4, 7)
+    assert np.all(bounds.kappa == 7)
+
+
+def test_per_user_values():
+    bounds = AttentionBounds([1, 2, 3])
+    assert bounds[2] == 3
+
+
+def test_remaining():
+    bounds = AttentionBounds([2, 2, 1])
+    remaining = bounds.remaining(np.asarray([0, 2, 5]))
+    assert remaining.tolist() == [2, 0, 0]
+
+
+def test_remaining_shape_checked():
+    bounds = AttentionBounds([1, 1])
+    with pytest.raises(AllocationError):
+        bounds.remaining(np.asarray([1]))
+
+
+def test_immutability():
+    bounds = AttentionBounds([1, 2])
+    with pytest.raises(ValueError):
+        bounds.kappa[0] = 5
+
+
+@pytest.mark.parametrize("bad", [[], [-1, 2]])
+def test_validation(bad):
+    with pytest.raises(AllocationError):
+        AttentionBounds(bad)
+
+
+def test_uniform_negative_rejected():
+    with pytest.raises(AllocationError):
+        AttentionBounds.uniform(3, -1)

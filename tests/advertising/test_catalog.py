@@ -1,0 +1,56 @@
+"""AdCatalog ordering and array views."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.catalog import AdCatalog
+from repro.errors import AllocationError
+
+
+@pytest.fixture
+def catalog():
+    return AdCatalog(
+        [
+            Advertiser(name="x", budget=10.0, cpe=1.0),
+            Advertiser(name="y", budget=20.0, cpe=2.0, boost=0.5),
+        ]
+    )
+
+
+def test_len_and_iteration(catalog):
+    assert len(catalog) == 2
+    assert [ad.name for ad in catalog] == ["x", "y"]
+
+
+def test_indexing(catalog):
+    assert catalog[1].name == "y"
+
+
+def test_index_of(catalog):
+    assert catalog.index_of("x") == 0
+    with pytest.raises(AllocationError):
+        catalog.index_of("nope")
+
+
+def test_budgets_use_boost(catalog):
+    assert np.allclose(catalog.budgets(), [10.0, 30.0])
+
+
+def test_cpes(catalog):
+    assert np.allclose(catalog.cpes(), [1.0, 2.0])
+
+
+def test_total_budget(catalog):
+    assert catalog.total_budget() == pytest.approx(40.0)
+
+
+def test_rejects_empty():
+    with pytest.raises(AllocationError):
+        AdCatalog([])
+
+
+def test_rejects_duplicate_names():
+    ads = [Advertiser(name="a", budget=1.0, cpe=1.0)] * 2
+    with pytest.raises(AllocationError, match="duplicate"):
+        AdCatalog(ads)

@@ -1,0 +1,101 @@
+"""Hard competition constraints (§7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.allocation import Allocation
+from repro.advertising.catalog import AdCatalog
+from repro.advertising.competition import CompetitionRules
+from repro.errors import AllocationError
+from repro.topics.distribution import TopicDistribution
+
+
+class TestRules:
+    def test_symmetric(self):
+        rules = CompetitionRules(3, [(0, 2)])
+        assert rules.in_conflict(0, 2)
+        assert rules.in_conflict(2, 0)
+        assert not rules.in_conflict(0, 1)
+        assert rules.num_conflicts() == 1
+
+    def test_conflicting_ads(self):
+        rules = CompetitionRules(4, [(0, 1), (0, 3)])
+        assert rules.conflicting_ads(0).tolist() == [1, 3]
+        assert rules.conflicting_ads(2).tolist() == []
+
+    def test_validation(self):
+        with pytest.raises(AllocationError):
+            CompetitionRules(0)
+        with pytest.raises(AllocationError):
+            CompetitionRules(2, [(0, 0)])
+        with pytest.raises(AllocationError):
+            CompetitionRules(2, [(0, 5)])
+
+
+class TestFromTopicOverlap:
+    def test_same_topic_ads_conflict(self):
+        catalog = AdCatalog(
+            [
+                Advertiser("a", budget=1, cpe=1, topics=TopicDistribution.skewed(5, 0)),
+                Advertiser("b", budget=1, cpe=1, topics=TopicDistribution.skewed(5, 0)),
+                Advertiser("c", budget=1, cpe=1, topics=TopicDistribution.skewed(5, 3)),
+            ]
+        )
+        rules = CompetitionRules.from_topic_overlap(catalog, threshold=0.5)
+        assert rules.in_conflict(0, 1)
+        assert not rules.in_conflict(0, 2)
+
+    def test_missing_topics_rejected(self):
+        catalog = AdCatalog([Advertiser("a", budget=1, cpe=1)])
+        with pytest.raises(AllocationError, match="lack topic"):
+            CompetitionRules.from_topic_overlap(catalog)
+
+    def test_threshold_validated(self):
+        catalog = AdCatalog(
+            [Advertiser("a", budget=1, cpe=1, topics=TopicDistribution.uniform(2))]
+        )
+        with pytest.raises(AllocationError):
+            CompetitionRules.from_topic_overlap(catalog, threshold=1.5)
+
+
+class TestViolationsAndRepair:
+    @pytest.fixture
+    def rules(self):
+        return CompetitionRules(3, [(0, 1)])
+
+    def test_violations_found(self, rules):
+        allocation = Allocation.from_seed_sets([[0, 1], [1, 2], [1]], num_nodes=4)
+        assert rules.violations(allocation) == [(1, 0, 1)]
+        assert not rules.is_compatible(allocation)
+
+    def test_compatible_allocation(self, rules):
+        allocation = Allocation.from_seed_sets([[0], [1], [0, 1]], num_nodes=3)
+        assert rules.is_compatible(allocation)
+        assert rules.violations(allocation) == []
+
+    def test_ad_count_checked(self, rules):
+        with pytest.raises(AllocationError):
+            rules.violations(Allocation(2, 3))
+
+    def test_repair_removes_later_ad_by_default(self, rules):
+        allocation = Allocation.from_seed_sets([[1], [1], []], num_nodes=2)
+        repaired = rules.repair(allocation)
+        assert repaired.seeds(0) == {1}
+        assert repaired.seeds(1) == frozenset()
+        assert rules.is_compatible(repaired)
+        # original untouched
+        assert allocation.seeds(1) == {1}
+
+    def test_repair_keeps_higher_score(self, rules):
+        allocation = Allocation.from_seed_sets([[1], [1], []], num_nodes=2)
+        scores = np.asarray([[0.0, 0.1], [0.0, 0.9]])  # ad 1 values user 1 more
+        repaired = rules.repair(allocation, keep_scores=scores)
+        assert repaired.seeds(0) == frozenset()
+        assert repaired.seeds(1) == {1}
+
+    def test_repair_never_adds(self, rules):
+        allocation = Allocation.from_seed_sets([[0, 1], [1], [2]], num_nodes=3)
+        repaired = rules.repair(allocation)
+        for ad in range(3):
+            assert repaired.seeds(ad) <= allocation.seeds(ad)

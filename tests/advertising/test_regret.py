@@ -1,0 +1,85 @@
+"""Regret objective (Eq. 3–4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advertising.regret import (
+    RegretBreakdown,
+    allocation_regret,
+    budget_regret,
+    regret_of,
+)
+
+
+def test_budget_regret_symmetric():
+    assert budget_regret(10, 12) == pytest.approx(2.0)
+    assert budget_regret(10, 8) == pytest.approx(2.0)
+
+
+def test_regret_of_includes_penalty():
+    assert regret_of(10, 8, 0.5, 4) == pytest.approx(2.0 + 2.0)
+
+
+def test_regret_of_validates():
+    with pytest.raises(ValueError):
+        regret_of(10, 8, -0.1, 2)
+    with pytest.raises(ValueError):
+        regret_of(10, 8, 0.1, -2)
+
+
+class TestBreakdown:
+    @pytest.fixture
+    def breakdown(self):
+        return allocation_regret(
+            revenues=[5.6, 0.0, 0.0, 0.0],
+            budgets=[4.0, 2.0, 2.0, 1.0],
+            seed_counts=[6, 0, 0, 0],
+            penalty=0.1,
+        )
+
+    def test_example2_numbers(self, breakdown):
+        """Example 2: allocation A has regret 6.6 + 0.1·6 = 7.2."""
+        assert breakdown.total_budget_regret == pytest.approx(6.6)
+        assert breakdown.total == pytest.approx(7.2)
+
+    def test_per_ad(self, breakdown):
+        assert breakdown.per_ad().tolist() == pytest.approx([1.6 + 0.6, 2.0, 2.0, 1.0])
+
+    def test_signed_gaps(self, breakdown):
+        gaps = breakdown.signed_budget_gaps()
+        assert gaps[0] == pytest.approx(1.6)
+        assert gaps[1] == pytest.approx(-2.0)
+
+    def test_relative_to_budget(self, breakdown):
+        assert breakdown.relative_to_budget() == pytest.approx(7.2 / 9.0)
+
+    def test_misaligned_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            RegretBreakdown(
+                revenues=np.zeros(2), budgets=np.zeros(3), seed_counts=np.zeros(2), penalty=0.0
+            )
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            allocation_regret([1.0], [1.0], [0], -0.5)
+
+
+@given(
+    budgets=st.lists(st.floats(0.1, 100), min_size=1, max_size=6),
+    revenues=st.lists(st.floats(0, 200), min_size=1, max_size=6),
+    penalty=st.floats(0, 2),
+)
+@settings(max_examples=60, deadline=None)
+def test_total_equals_sum_of_parts(budgets, revenues, penalty):
+    """Eq. (4) decomposition: total = Σ budget-regret + Σ seed-regret."""
+    size = min(len(budgets), len(revenues))
+    budgets, revenues = budgets[:size], revenues[:size]
+    seeds = list(range(size))
+    breakdown = allocation_regret(revenues, budgets, seeds, penalty)
+    expected = sum(
+        abs(b - r) + penalty * s for b, r, s in zip(budgets, revenues, seeds)
+    )
+    assert breakdown.total == pytest.approx(expected, rel=1e-9)
+    assert breakdown.total >= breakdown.total_budget_regret - 1e-12

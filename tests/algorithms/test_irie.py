@@ -1,0 +1,112 @@
+"""IRIE: influence rank, activation probabilities, Greedy-IRIE."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.irie import (
+    GreedyIRIEAllocator,
+    estimate_activation_probabilities,
+    influence_rank,
+)
+from repro.datasets.toy import figure1_problem
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import star_graph
+from repro.graph.probabilities import constant_probabilities
+
+
+class TestInfluenceRank:
+    def test_sink_has_rank_one(self, line_graph):
+        rank = influence_rank(line_graph, np.ones(3), alpha=1.0)
+        assert rank[3] == pytest.approx(1.0)
+
+    def test_line_graph_closed_form(self, line_graph):
+        """With p=1, α=1: r(3)=1, r(2)=2, r(1)=3, r(0)=4."""
+        rank = influence_rank(line_graph, np.ones(3), alpha=1.0, max_iterations=50)
+        assert np.allclose(rank, [4.0, 3.0, 2.0, 1.0])
+
+    def test_damping_shrinks_rank(self, line_graph):
+        damped = influence_rank(line_graph, np.ones(3), alpha=0.5, max_iterations=50)
+        full = influence_rank(line_graph, np.ones(3), alpha=1.0, max_iterations=50)
+        assert np.all(damped <= full + 1e-12)
+
+    def test_activation_discount(self, line_graph):
+        ap = np.asarray([0.0, 1.0, 0.0, 0.0])
+        rank = influence_rank(line_graph, np.ones(3), alpha=1.0, activation_probs=ap)
+        assert rank[1] == pytest.approx(0.0)
+
+    def test_hub_ranks_highest(self):
+        g = star_graph(10)
+        rank = influence_rank(g, constant_probabilities(g, 0.5), alpha=0.7)
+        assert np.argmax(rank) == 0
+
+    def test_validation(self, line_graph):
+        with pytest.raises(ValueError):
+            influence_rank(line_graph, np.ones(3), alpha=1.5)
+        with pytest.raises(ValueError):
+            influence_rank(line_graph, np.ones(2))
+        with pytest.raises(ValueError):
+            influence_rank(line_graph, np.ones(3), activation_probs=np.ones(2))
+
+
+class TestActivationProbabilities:
+    def test_no_seeds_all_zero(self, line_graph):
+        ap = estimate_activation_probabilities(line_graph, np.ones(3), [])
+        assert not ap.any()
+
+    def test_deterministic_line(self, line_graph):
+        ap = estimate_activation_probabilities(line_graph, np.ones(3), [0])
+        assert np.allclose(ap, 1.0)
+
+    def test_ctp_gates_seed(self, line_graph):
+        ap = estimate_activation_probabilities(
+            line_graph, np.ones(3), [0], ctps=np.full(4, 0.5)
+        )
+        assert ap[0] == pytest.approx(0.5)
+        assert ap[1] == pytest.approx(0.5)  # activated only through 0
+
+    def test_matches_exact_on_tree(self, line_graph):
+        """On a tree (no convergent paths) the independence approximation
+        is exact: AP(v) = δ·Π p along the path."""
+        probs = np.asarray([0.8, 0.4, 0.9])
+        ap = estimate_activation_probabilities(
+            line_graph, probs, [0], ctps=np.full(4, 0.7)
+        )
+        assert ap[0] == pytest.approx(0.7)
+        assert ap[1] == pytest.approx(0.7 * 0.8)
+        assert ap[2] == pytest.approx(0.7 * 0.8 * 0.4)
+        assert ap[3] == pytest.approx(0.7 * 0.8 * 0.4 * 0.9)
+
+
+class TestGreedyIRIE:
+    def test_valid_allocation_on_figure1(self):
+        problem = figure1_problem()
+        result = GreedyIRIEAllocator().allocate(problem)
+        assert result.allocation.is_valid(problem.attention)
+        assert result.allocation.total_seeds() > 0
+
+    def test_beats_myopic_on_figure1(self):
+        from repro.algorithms.myopic import MyopicAllocator
+        from repro.evaluation.evaluator import RegretEvaluator
+
+        problem = figure1_problem()
+        evaluator = RegretEvaluator(problem, num_runs=2_000, seed=3)
+        irie = evaluator.evaluate(GreedyIRIEAllocator().allocate(problem).allocation)
+        myopic = evaluator.evaluate(MyopicAllocator().allocate(problem).allocation)
+        assert irie.total_regret < myopic.total_regret
+
+    def test_ir_solves_counted(self):
+        problem = figure1_problem()
+        result = GreedyIRIEAllocator().allocate(problem)
+        # one initial solve per ad plus one per assigned seed
+        assert result.stats["ir_solves"] == problem.num_ads + result.stats["iterations"]
+
+    def test_deterministic(self):
+        problem = figure1_problem()
+        a = GreedyIRIEAllocator().allocate(problem)
+        b = GreedyIRIEAllocator().allocate(problem)
+        assert a.allocation == b.allocation
+
+    def test_validates_alpha(self):
+        with pytest.raises(ConfigurationError):
+            GreedyIRIEAllocator(alpha=1.2)

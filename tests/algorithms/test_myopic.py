@@ -1,0 +1,93 @@
+"""Myopic and Myopic+ baselines."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.attention import AttentionBounds
+from repro.algorithms.myopic import MyopicAllocator, MyopicPlusAllocator
+from repro.datasets.toy import figure1_problem
+
+
+class TestMyopic:
+    def test_reproduces_allocation_a_on_figure1(self):
+        """On the Fig.-1 gadget Myopic gives exactly Allocation A: every
+        user gets ad a (highest δ·cpe)."""
+        problem = figure1_problem()
+        result = MyopicAllocator().allocate(problem)
+        assert result.allocation.seeds(0) == {0, 1, 2, 3, 4, 5}
+        for ad in (1, 2, 3):
+            assert result.allocation.seeds(ad) == frozenset()
+
+    def test_targets_every_user(self, two_ad_problem):
+        result = MyopicAllocator().allocate(two_ad_problem)
+        assert len(result.allocation.targeted_users()) == two_ad_problem.num_nodes
+
+    def test_respects_attention(self, two_ad_problem):
+        result = MyopicAllocator().allocate(two_ad_problem)
+        assert result.allocation.is_valid(two_ad_problem.attention)
+
+    def test_higher_kappa_assigns_more(self, two_ad_problem):
+        one = MyopicAllocator().allocate(two_ad_problem)
+        two = MyopicAllocator().allocate(
+            two_ad_problem.with_attention(AttentionBounds.uniform(4, 2))
+        )
+        assert two.allocation.total_seeds() > one.allocation.total_seeds()
+
+    def test_kappa_capped_by_num_ads(self, two_ad_problem):
+        problem = two_ad_problem.with_attention(AttentionBounds.uniform(4, 99))
+        result = MyopicAllocator().allocate(problem)
+        # at most h = 2 ads per user even with huge attention
+        assert result.allocation.user_assignment_counts().max() <= 2
+
+    def test_estimates_are_no_network(self, two_ad_problem):
+        result = MyopicAllocator().allocate(two_ad_problem)
+        for ad in range(2):
+            seeds = result.allocation.seed_array(ad)
+            expected = two_ad_problem.expected_seed_revenue(ad)[seeds].sum()
+            assert result.estimated_revenues[ad] == pytest.approx(expected)
+
+
+class TestMyopicPlus:
+    def test_stops_at_budget(self):
+        problem = figure1_problem()
+        result = MyopicPlusAllocator().allocate(problem)
+        # each ad's no-network revenue estimate must not exceed budget by
+        # more than one seed's worth
+        budgets = problem.catalog.budgets()
+        cpes = problem.catalog.cpes()
+        for ad in range(problem.num_ads):
+            max_step = problem.ctps[ad].max() * cpes[ad]
+            assert result.estimated_revenues[ad] <= budgets[ad] + max_step + 1e-9
+
+    def test_targets_fewer_than_myopic_under_loose_attention(self):
+        problem = figure1_problem().with_attention(AttentionBounds.uniform(6, 4))
+        myopic = MyopicAllocator().allocate(problem)
+        plus = MyopicPlusAllocator().allocate(problem)
+        assert plus.allocation.total_seeds() <= myopic.allocation.total_seeds()
+
+    def test_respects_attention(self, two_ad_problem):
+        result = MyopicPlusAllocator().allocate(two_ad_problem)
+        assert result.allocation.is_valid(two_ad_problem.attention)
+
+    def test_ranks_users_by_ctp(self):
+        """With a single ad and budget for ~2 seeds, the two highest-CTP
+        users must be picked."""
+        import numpy as np
+
+        from repro.advertising.advertiser import Advertiser
+        from repro.advertising.catalog import AdCatalog
+        from repro.advertising.problem import AdAllocationProblem
+        from repro.graph.generators import cycle_graph
+
+        graph = cycle_graph(5)
+        catalog = AdCatalog([Advertiser(name="a", budget=1.5, cpe=1.0)])
+        ctps = np.asarray([[0.1, 0.9, 0.2, 0.8, 0.3]])
+        problem = AdAllocationProblem(
+            graph,
+            catalog,
+            np.zeros((1, 5)),
+            ctps,
+            AttentionBounds.uniform(5, 1),
+        )
+        result = MyopicPlusAllocator().allocate(problem)
+        assert result.allocation.seeds(0) == {1, 3}

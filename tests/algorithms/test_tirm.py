@@ -1,0 +1,158 @@
+"""TIRM (Algorithms 2–4)."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.attention import AttentionBounds
+from repro.advertising.catalog import AdCatalog
+from repro.advertising.problem import AdAllocationProblem
+from repro.algorithms.tirm import TIRMAllocator
+from repro.datasets.toy import figure1_problem
+from repro.errors import ConfigurationError
+from repro.evaluation.evaluator import RegretEvaluator
+from repro.graph.generators import erdos_renyi, star_graph
+from repro.graph.probabilities import constant_probabilities
+
+
+def tirm(**kwargs):
+    defaults = dict(seed=0, initial_pilot=500, max_rr_sets_per_ad=8_000)
+    defaults.update(kwargs)
+    return TIRMAllocator(**defaults)
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": 0.0},
+            {"epsilon": 1.0},
+            {"ell": 0.0},
+            {"select_rule": "banana"},
+            {"min_rr_sets_per_ad": 0},
+            {"min_rr_sets_per_ad": 10, "max_rr_sets_per_ad": 5},
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TIRMAllocator(**kwargs)
+
+
+class TestToyBehaviour:
+    def test_beats_myopic_on_figure1(self):
+        from repro.algorithms.myopic import MyopicAllocator
+
+        problem = figure1_problem()
+        evaluator = RegretEvaluator(problem, num_runs=2_000, seed=9)
+        tirm_report = evaluator.evaluate(tirm().allocate(problem).allocation)
+        myopic_report = evaluator.evaluate(MyopicAllocator().allocate(problem).allocation)
+        assert tirm_report.total_regret < myopic_report.total_regret
+
+    def test_valid_allocation(self):
+        problem = figure1_problem()
+        result = tirm().allocate(problem)
+        assert result.allocation.is_valid(problem.attention)
+
+    def test_deterministic_under_seed(self):
+        problem = figure1_problem()
+        a = tirm(seed=5).allocate(problem)
+        b = tirm(seed=5).allocate(problem)
+        assert a.allocation == b.allocation
+        assert np.allclose(a.estimated_revenues, b.estimated_revenues)
+
+    def test_stats_shape(self):
+        problem = figure1_problem()
+        result = tirm().allocate(problem)
+        assert len(result.stats["theta_per_ad"]) == problem.num_ads
+        assert result.stats["total_rr_sets"] >= problem.num_ads * 500
+        assert result.stats["rr_memory_bytes"] > 0
+
+    def test_coverage_rule_runs(self):
+        problem = figure1_problem()
+        result = tirm(select_rule="coverage").allocate(problem)
+        assert result.allocation.is_valid(problem.attention)
+
+
+class TestBudgetTracking:
+    def test_internal_estimates_near_budgets_when_feasible(self):
+        """On a graph with plenty of independent nodes and CTP 1, TIRM's
+        internal revenue estimates should land within one marginal gain
+        of each budget."""
+        graph = erdos_renyi(120, 0.01, seed=3)
+        catalog = AdCatalog(
+            [Advertiser(name=f"a{i}", budget=8.0, cpe=1.0) for i in range(2)]
+        )
+        problem = AdAllocationProblem(
+            graph,
+            catalog,
+            constant_probabilities(graph, 0.05),
+            1.0,
+            AttentionBounds.uniform(120, 2),
+        )
+        result = tirm().allocate(problem)
+        for ad in range(2):
+            assert result.estimated_revenues[ad] == pytest.approx(8.0, abs=2.5)
+
+    def test_seed_size_estimates_grow(self):
+        graph = erdos_renyi(120, 0.01, seed=4)
+        catalog = AdCatalog([Advertiser(name="a", budget=10.0, cpe=1.0)])
+        problem = AdAllocationProblem(
+            graph,
+            catalog,
+            constant_probabilities(graph, 0.02),
+            1.0,
+            AttentionBounds.uniform(120, 1),
+        )
+        result = tirm().allocate(problem)
+        # ~10 seeds needed; s must have been revised beyond its initial 1
+        assert result.stats["seed_size_estimates"][0] > 1
+        assert result.allocation.seed_counts()[0] >= 5
+
+    def test_hub_not_picked_when_it_overshoots(self):
+        """Star hub has spread 21 but budget is 2: TIRM must prefer
+        leaves (spread 1 each) to the hub."""
+        graph = star_graph(20)
+        catalog = AdCatalog([Advertiser(name="a", budget=2.0, cpe=1.0)])
+        problem = AdAllocationProblem(
+            graph,
+            catalog,
+            constant_probabilities(graph, 1.0),
+            1.0,
+            AttentionBounds.uniform(21, 1),
+        )
+        result = tirm().allocate(problem)
+        assert 0 not in result.allocation.seeds(0)
+        assert result.estimated_regret().total < 1.0
+
+
+class TestPenalty:
+    def test_penalty_reduces_seed_usage(self):
+        problem = figure1_problem()
+        free = tirm().allocate(problem)
+        taxed = tirm().allocate(problem.with_penalty(0.5))
+        assert taxed.allocation.total_seeds() <= free.allocation.total_seeds()
+
+
+class TestAttention:
+    def test_attention_bound_shared_across_ads(self):
+        """With κ=1 a user can serve only one ad even if both want it."""
+        graph = star_graph(6)
+        catalog = AdCatalog(
+            [
+                Advertiser(name="a", budget=6.0, cpe=1.0),
+                Advertiser(name="b", budget=6.0, cpe=1.0),
+            ]
+        )
+        problem = AdAllocationProblem(
+            graph,
+            catalog,
+            constant_probabilities(graph, 1.0),
+            1.0,
+            AttentionBounds.uniform(7, 1),
+        )
+        result = tirm().allocate(problem)
+        assert result.allocation.is_valid(problem.attention)
+        # the hub (spread 7 > budget...) — regardless of who gets what,
+        # no user may appear in both seed sets
+        overlap = result.allocation.seeds(0) & result.allocation.seeds(1)
+        assert overlap == frozenset()

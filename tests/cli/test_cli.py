@@ -1,0 +1,80 @@
+"""CLI commands (exercised in-process via main(argv))."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+def test_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_datasets_lists_all(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("figure1", "flixster", "epinions", "dblp", "livejournal"):
+        assert name in out
+
+
+def test_figure1_prints_paper_numbers(capsys):
+    assert main(["figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "5.54" in out  # exact E[clicks] of allocation A
+    assert "6.30" in out
+    assert "2.70" in out  # regret B at lambda=0
+
+
+def test_allocate_tirm_on_figure1(capsys):
+    code = main([
+        "allocate", "figure1", "--algorithm", "tirm",
+        "--eval-runs", "200", "--max-rr-sets", "2000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "TIRM on figure1" in out
+    assert "total regret" in out
+    assert "targeted users" in out
+
+
+def test_allocate_myopic_on_flixster(capsys):
+    code = main([
+        "allocate", "flixster", "--algorithm", "myopic",
+        "--scale", "0.005", "--eval-runs", "50",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Myopic on flixster" in out
+
+
+def test_allocate_rejects_unknown_algorithm():
+    with pytest.raises(SystemExit):
+        main(["allocate", "figure1", "--algorithm", "quantum"])
+
+
+def test_bounds_on_figure1(capsys):
+    assert main(["bounds", "figure1", "--rr-sets", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "p_max" in out
+    assert "theorem 3" in out
+    # the gadget violates p_i < 1, so theorem 4 must be n/a
+    assert "n/a" in out
+
+
+def test_im_runs(capsys):
+    assert main(["im", "--nodes", "150", "--k", "3", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "TIM selected 3 seeds" in out
+    assert "estimated spread" in out
+
+
+def test_parser_help_mentions_commands():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for command in ("datasets", "allocate", "figure1", "bounds", "im"):
+        assert command in help_text

@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic graphs and problem instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.attention import AttentionBounds
+from repro.advertising.catalog import AdCatalog
+from repro.advertising.problem import AdAllocationProblem
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.probabilities import constant_probabilities
+
+
+@pytest.fixture
+def line_graph() -> DirectedGraph:
+    """0 → 1 → 2 → 3."""
+    return DirectedGraph.from_edges([(0, 1), (1, 2), (2, 3)], num_nodes=4)
+
+
+@pytest.fixture
+def diamond_graph() -> DirectedGraph:
+    """0 → {1, 2} → 3 (two length-2 paths)."""
+    return DirectedGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)], num_nodes=4)
+
+
+@pytest.fixture
+def small_random_graph() -> DirectedGraph:
+    """A deterministic 60-node G(n, p) used by the sampling tests."""
+    return erdos_renyi(60, 0.06, seed=123)
+
+
+@pytest.fixture
+def two_ad_problem(diamond_graph) -> AdAllocationProblem:
+    """Two ads over the diamond with uniform probabilities and CTPs."""
+    catalog = AdCatalog(
+        [
+            Advertiser(name="alpha", budget=2.0, cpe=1.0),
+            Advertiser(name="beta", budget=1.0, cpe=2.0),
+        ]
+    )
+    edge_probs = np.vstack(
+        [
+            constant_probabilities(diamond_graph, 0.5),
+            constant_probabilities(diamond_graph, 0.2),
+        ]
+    )
+    ctps = np.vstack(
+        [np.full(diamond_graph.num_nodes, 0.8), np.full(diamond_graph.num_nodes, 0.5)]
+    )
+    attention = AttentionBounds.uniform(diamond_graph.num_nodes, 1)
+    return AdAllocationProblem(diamond_graph, catalog, edge_probs, ctps, attention)

@@ -1,0 +1,30 @@
+"""Dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.errors import ConfigurationError
+
+
+def test_all_names_registered():
+    assert set(DATASETS) == {"figure1", "flixster", "epinions", "dblp", "livejournal"}
+
+
+def test_load_figure1():
+    problem = load_dataset("figure1")
+    assert problem.num_ads == 4
+
+
+def test_load_case_insensitive():
+    problem = load_dataset("Figure1")
+    assert problem.num_ads == 4
+
+
+def test_kwargs_forwarded():
+    problem = load_dataset("flixster", scale=0.01, num_ads=3, seed=5)
+    assert problem.num_ads == 3
+
+
+def test_unknown_name():
+    with pytest.raises(ConfigurationError, match="unknown dataset"):
+        load_dataset("orkut")

@@ -1,0 +1,112 @@
+"""The four synthetic network recipes (scaled-down Table 1–2 stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    dblp_like,
+    epinions_like,
+    flixster_like,
+    livejournal_like,
+)
+
+
+class TestFlixsterLike:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return flixster_like(scale=0.01, seed=1)
+
+    def test_shape(self, problem):
+        assert problem.num_nodes == 300
+        assert problem.num_ads == 10
+
+    def test_ctps_in_paper_range(self, problem):
+        assert problem.ctps.min() >= 0.01
+        assert problem.ctps.max() <= 0.03
+
+    def test_budgets_scaled_from_table2(self, problem):
+        budgets = problem.catalog.budgets()
+        assert np.all(budgets >= 200 * 0.01)
+        assert np.all(budgets <= 600 * 0.01)
+
+    def test_cpes_in_table2_range(self, problem):
+        cpes = problem.catalog.cpes()
+        assert np.all((cpes >= 5.0) & (cpes <= 6.0))
+
+    def test_skewed_topics(self, problem):
+        gamma = problem.catalog[3].topics.gamma
+        assert gamma[3] == pytest.approx(0.91)
+
+    def test_deterministic(self):
+        a = flixster_like(scale=0.01, seed=2)
+        b = flixster_like(scale=0.01, seed=2)
+        assert a.graph == b.graph
+        assert np.array_equal(a.ctps, b.ctps)
+        assert np.array_equal(a.edge_probabilities, b.edge_probabilities)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            flixster_like(scale=0.0)
+
+
+class TestEpinionsLike:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return epinions_like(scale=0.005, seed=1)
+
+    def test_shape(self, problem):
+        assert problem.num_nodes == 380
+        assert problem.num_ads == 10
+
+    def test_exponential_probabilities_small(self, problem):
+        # Exp(30) has mean 1/30; mixed probabilities stay small.
+        assert problem.edge_probabilities.mean() < 0.1
+
+    def test_budgets_scaled(self, problem):
+        budgets = problem.catalog.budgets()
+        assert np.all(budgets >= 100 * 0.005)
+        assert np.all(budgets <= 350 * 0.005)
+
+    def test_attention_bound_param(self):
+        problem = epinions_like(scale=0.005, attention_bound=3, seed=1)
+        assert np.all(problem.attention.kappa == 3)
+
+
+class TestDblpLike:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return dblp_like(scale=0.002, seed=1)
+
+    def test_symmetric_edges(self, problem):
+        g = problem.graph
+        for eid in range(0, g.num_edges, max(g.num_edges // 50, 1)):
+            u, v = int(g.edge_sources[eid]), int(g.edge_targets[eid])
+            assert g.has_edge(v, u)
+
+    def test_weighted_cascade(self, problem):
+        g = problem.graph
+        probs = problem.ad_edge_probabilities(0)
+        in_deg = g.in_degrees()
+        eid = g.num_edges // 2
+        v = int(g.edge_targets[eid])
+        assert probs[eid] == pytest.approx(1.0 / in_deg[v])
+
+    def test_ctp_cpe_one(self, problem):
+        assert np.all(problem.ctps == 1.0)
+        assert np.all(problem.catalog.cpes() == 1.0)
+
+    def test_budget_override(self):
+        problem = dblp_like(scale=0.002, budget_per_ad=42.0, seed=1)
+        assert np.all(problem.catalog.budgets() == 42.0)
+
+
+class TestLivejournalLike:
+    def test_small_scale_builds(self):
+        problem = livejournal_like(scale=0.0001, seed=1)
+        assert problem.num_nodes >= 100
+        assert problem.num_ads == 5
+        assert np.all(problem.ctps == 1.0)
+
+    def test_num_ads_param(self):
+        problem = livejournal_like(scale=0.0001, num_ads=3, seed=1)
+        assert problem.num_ads == 3

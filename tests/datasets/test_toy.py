@@ -1,0 +1,53 @@
+"""The Fig.-1 gadget dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.toy import (
+    figure1_allocation_a,
+    figure1_allocation_b,
+    figure1_gadget,
+    figure1_problem,
+)
+
+
+def test_gadget_topology():
+    graph, probs = figure1_gadget()
+    assert graph.num_nodes == 6
+    assert graph.num_edges == 6
+    assert probs[graph.edge_id(0, 2)] == 0.2
+    assert probs[graph.edge_id(2, 3)] == 0.5
+    assert probs[graph.edge_id(4, 5)] == 0.1
+
+
+def test_problem_setup():
+    problem = figure1_problem()
+    assert problem.num_ads == 4
+    assert problem.catalog.budgets().tolist() == [4.0, 2.0, 2.0, 1.0]
+    assert np.allclose(problem.catalog.cpes(), 1.0)
+    assert np.all(problem.attention.kappa == 1)
+    # CTPs are uniform per ad
+    assert np.allclose(problem.ctps[0], 0.9)
+    assert np.allclose(problem.ctps[3], 0.6)
+    # all ads share edge probabilities
+    assert np.allclose(problem.edge_probabilities[0], problem.edge_probabilities[2])
+
+
+def test_problem_penalty_passthrough():
+    assert figure1_problem(penalty=0.1).penalty == 0.1
+
+
+def test_allocation_a_is_valid_and_full():
+    problem = figure1_problem()
+    alloc = figure1_allocation_a()
+    assert alloc.is_valid(problem.attention)
+    assert alloc.seeds(0) == {0, 1, 2, 3, 4, 5}
+
+
+def test_allocation_b_matches_paper():
+    alloc = figure1_allocation_b()
+    assert alloc.seeds(0) == {0, 1}
+    assert alloc.seeds(1) == {2}
+    assert alloc.seeds(2) == {3, 4}
+    assert alloc.seeds(3) == {5}
+    assert alloc.is_valid(figure1_problem().attention)

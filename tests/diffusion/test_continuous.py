@@ -1,0 +1,109 @@
+"""Continuous-time IC (the §7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.continuous import (
+    estimate_continuous_spread,
+    simulate_continuous,
+)
+from repro.diffusion.exact import exact_spread
+from repro.graph.digraph import DirectedGraph
+
+
+class TestSimulate:
+    def test_seeds_click_at_zero(self, line_graph):
+        cascade = simulate_continuous(
+            line_graph, np.ones(3), [0], horizon=10.0, rng=0
+        )
+        assert cascade.click_times[0] == 0.0
+
+    def test_times_monotone_along_path(self, line_graph):
+        cascade = simulate_continuous(
+            line_graph, np.ones(3), [0], horizon=1e9, rng=1
+        )
+        times = cascade.click_times
+        assert times[0] < times[1] < times[2] < times[3]
+
+    def test_zero_probability_nothing_spreads(self, line_graph):
+        cascade = simulate_continuous(
+            line_graph, np.zeros(3), [0], horizon=10.0, rng=2
+        )
+        assert cascade.num_clicks() == 1
+
+    def test_tiny_horizon_censors(self, line_graph):
+        cascade = simulate_continuous(
+            line_graph, np.ones(3), [0], horizon=1e-9, rng=3
+        )
+        # only the seed clicks within an (almost) zero horizon
+        assert cascade.num_clicks() == 1
+
+    def test_no_seeds(self, line_graph):
+        cascade = simulate_continuous(line_graph, np.ones(3), [], horizon=1.0, rng=4)
+        assert cascade.num_clicks() == 0
+
+    def test_ctp_gates_seed(self, line_graph):
+        cascade = simulate_continuous(
+            line_graph, np.ones(3), [0], horizon=10.0, ctps=np.zeros(4), rng=5
+        )
+        assert cascade.num_clicks() == 0
+
+    def test_validation(self, line_graph):
+        with pytest.raises(ValueError):
+            simulate_continuous(line_graph, np.ones(3), [0], horizon=0.0)
+        with pytest.raises(ValueError):
+            simulate_continuous(line_graph, np.ones(2), [0], horizon=1.0)
+        with pytest.raises(ValueError):
+            simulate_continuous(
+                line_graph, np.ones(3), [0], horizon=1.0, delay_rates=0.0
+            )
+
+
+class TestSpreadConvergence:
+    def test_large_horizon_matches_discrete_spread(self, diamond_graph):
+        """As τ → ∞ the CT spread equals the discrete TIC-CTP spread."""
+        probs = np.full(4, 0.5)
+        ctps = np.asarray([0.7, 1.0, 1.0, 1.0])
+        discrete = exact_spread(diamond_graph, probs, [0], ctps=ctps)
+        continuous = estimate_continuous_spread(
+            diamond_graph,
+            probs,
+            [0],
+            horizon=1e6,
+            ctps=ctps,
+            num_runs=4_000,
+            seed=6,
+        )
+        assert continuous.mean == pytest.approx(
+            discrete, abs=4 * continuous.std_error + 0.02
+        )
+
+    def test_spread_monotone_in_horizon(self, line_graph):
+        probs = np.ones(3)
+        short = estimate_continuous_spread(
+            line_graph, probs, [0], horizon=0.5, num_runs=600, seed=7
+        )
+        long = estimate_continuous_spread(
+            line_graph, probs, [0], horizon=5.0, num_runs=600, seed=7
+        )
+        assert long.mean >= short.mean
+
+    def test_faster_delays_spread_more_within_horizon(self, line_graph):
+        probs = np.ones(3)
+        slow = estimate_continuous_spread(
+            line_graph, probs, [0], horizon=1.0, delay_rates=0.5, num_runs=600, seed=8
+        )
+        fast = estimate_continuous_spread(
+            line_graph, probs, [0], horizon=1.0, delay_rates=5.0, num_runs=600, seed=8
+        )
+        assert fast.mean > slow.mean
+
+    def test_exponential_horizon_fraction(self):
+        """One edge, p=1, rate 1: P(arrival ≤ τ) = 1 − e^{−τ}."""
+        g = DirectedGraph.from_edges([(0, 1)])
+        tau = 0.7
+        estimate = estimate_continuous_spread(
+            g, np.ones(1), [0], horizon=tau, num_runs=6_000, seed=9
+        )
+        expected = 1.0 + (1.0 - np.exp(-tau))
+        assert estimate.mean == pytest.approx(expected, abs=4 * estimate.std_error + 0.02)

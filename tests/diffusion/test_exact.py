@@ -1,0 +1,129 @@
+"""Exact enumeration: hand-computable cases and the Fig.-1 numbers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.toy import (
+    PAPER_EXPECTED_CLICKS_A,
+    PAPER_EXPECTED_CLICKS_B,
+    figure1_allocation_a,
+    figure1_allocation_b,
+    figure1_problem,
+)
+from repro.diffusion.exact import exact_click_probabilities, exact_spread
+from repro.graph.digraph import DirectedGraph
+
+
+class TestHandComputable:
+    def test_single_edge(self):
+        g = DirectedGraph.from_edges([(0, 1)])
+        # seed 0 always clicks; 1 clicks iff the 0.3-edge fires
+        assert exact_spread(g, [0.3], [0]) == pytest.approx(1.3)
+
+    def test_ctp_scales_everything(self):
+        g = DirectedGraph.from_edges([(0, 1)])
+        # 0 clicks w.p. 0.5; 1 clicks w.p. 0.5*0.3
+        assert exact_spread(g, [0.3], [0], ctps=[0.5, 1.0]) == pytest.approx(0.5 + 0.15)
+
+    def test_failed_seed_still_activatable(self):
+        """A seed whose CTP coin fails can be activated by a neighbor —
+        the TIC-CTP semantics behind Allocation A's v3 computation."""
+        g = DirectedGraph.from_edges([(0, 1)])
+        # Seeds {0, 1}, delta = (1.0, 0.5), edge 1.0:
+        # node1 clicks unless its own coin fails AND ... edge always fires
+        # so node 1 clicks w.p. 1 - (1-0.5)*(1-1.0*1.0) = 1.0
+        assert exact_spread(g, [1.0], [0, 1], ctps=[1.0, 0.5]) == pytest.approx(2.0)
+
+    def test_diamond_convergent_paths(self, diamond_graph):
+        # p=1 everywhere: everything is reached
+        assert exact_spread(diamond_graph, np.ones(4), [0]) == pytest.approx(4.0)
+        # p=0.5: node3 active w.p. 1-(1-0.25)... two indep paths of prob .25
+        p = exact_click_probabilities(diamond_graph, np.full(4, 0.5), [0])
+        assert p[0] == pytest.approx(1.0)
+        assert p[1] == pytest.approx(0.5)
+        assert p[3] == pytest.approx(1 - (1 - 0.25) ** 2)
+
+    def test_empty_seeds(self, diamond_graph):
+        assert exact_spread(diamond_graph, np.full(4, 0.5), []) == 0.0
+
+    def test_monotone_in_seeds(self, diamond_graph):
+        probs = np.full(4, 0.4)
+        s1 = exact_spread(diamond_graph, probs, [1])
+        s2 = exact_spread(diamond_graph, probs, [1, 2])
+        assert s2 >= s1
+
+    def test_submodular_on_diamond(self, diamond_graph):
+        """σ(S∪{x}) − σ(S) shrinks as S grows (Lemma 1 corollary)."""
+        probs = np.full(4, 0.6)
+        gain_small = exact_spread(diamond_graph, probs, [1, 0]) - exact_spread(
+            diamond_graph, probs, [1]
+        )
+        gain_large = exact_spread(diamond_graph, probs, [1, 2, 0]) - exact_spread(
+            diamond_graph, probs, [1, 2]
+        )
+        assert gain_large <= gain_small + 1e-12
+
+    def test_edge_limit_guard(self):
+        g = DirectedGraph.from_edges([(0, i) for i in range(1, 22)])
+        with pytest.raises(ValueError, match="at most"):
+            exact_spread(g, np.full(21, 0.5), [0])
+
+
+class TestFigure1:
+    """The paper's Fig. 1 numbers (independence-approximated, rounded to
+    two decimals) against exact possible-world enumeration."""
+
+    def test_allocation_a_expected_clicks(self):
+        problem = figure1_problem()
+        alloc = figure1_allocation_a()
+        total = sum(
+            exact_spread(
+                problem.graph,
+                problem.ad_edge_probabilities(i),
+                alloc.seed_array(i),
+                ctps=problem.ad_ctps(i),
+            )
+            for i in range(problem.num_ads)
+        )
+        assert total == pytest.approx(PAPER_EXPECTED_CLICKS_A, abs=0.05)
+
+    def test_allocation_b_expected_clicks(self):
+        problem = figure1_problem()
+        alloc = figure1_allocation_b()
+        total = sum(
+            exact_spread(
+                problem.graph,
+                problem.ad_edge_probabilities(i),
+                alloc.seed_array(i),
+                ctps=problem.ad_ctps(i),
+            )
+            for i in range(problem.num_ads)
+        )
+        assert total == pytest.approx(PAPER_EXPECTED_CLICKS_B, abs=0.05)
+
+    def test_allocation_a_node_probabilities(self):
+        """Spot-check the per-node click probabilities of Fig. 1's
+        Allocation A (paper values, rounded)."""
+        problem = figure1_problem()
+        clicks = exact_click_probabilities(
+            problem.graph,
+            problem.ad_edge_probabilities(0),
+            np.arange(6),
+            ctps=problem.ad_ctps(0),
+        )
+        assert clicks[0] == pytest.approx(0.9)
+        assert clicks[1] == pytest.approx(0.9)
+        assert clicks[2] == pytest.approx(0.93, abs=0.005)
+        assert clicks[3] == pytest.approx(0.95, abs=0.005)
+        assert clicks[5] == pytest.approx(0.92, abs=0.01)
+
+    def test_allocation_b_ad_a_nodes(self):
+        """Allocation B, ad a seeded at {v1, v2}: v3 clicks w.p. 0.33."""
+        problem = figure1_problem()
+        clicks = exact_click_probabilities(
+            problem.graph,
+            problem.ad_edge_probabilities(0),
+            [0, 1],
+            ctps=problem.ad_ctps(0),
+        )
+        assert clicks[2] == pytest.approx(1 - (1 - 0.18) ** 2, abs=1e-9)

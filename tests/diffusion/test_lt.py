@@ -1,0 +1,135 @@
+"""Linear Threshold model: live edges, simulation, RR-sets."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.lt import (
+    check_lt_weights,
+    estimate_lt_spread,
+    sample_lt_live_edges,
+    sample_lt_rr_set,
+    sample_lt_rr_sets,
+    simulate_lt_clicks,
+)
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.probabilities import weighted_cascade_probabilities
+from repro.rrset.estimator import estimate_spread_from_sets
+
+
+class TestWeights:
+    def test_weighted_cascade_is_valid_lt(self, small_random_graph):
+        weights = weighted_cascade_probabilities(small_random_graph)
+        assert check_lt_weights(small_random_graph, weights).shape == (
+            small_random_graph.num_edges,
+        )
+
+    def test_rejects_negative(self, line_graph):
+        with pytest.raises(ValueError):
+            check_lt_weights(line_graph, [-0.1, 0.5, 0.5])
+
+    def test_rejects_oversubscribed_node(self, diamond_graph):
+        # node 3 has two in-edges; 0.7 + 0.7 > 1
+        with pytest.raises(ValueError, match="sum to"):
+            check_lt_weights(diamond_graph, [0.5, 0.5, 0.7, 0.7])
+
+    def test_rejects_bad_shape(self, line_graph):
+        with pytest.raises(ValueError):
+            check_lt_weights(line_graph, [0.5])
+
+
+class TestLiveEdges:
+    def test_at_most_one_in_edge_per_node(self, small_random_graph):
+        weights = weighted_cascade_probabilities(small_random_graph)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            live = sample_lt_live_edges(small_random_graph, weights, rng=rng)
+            per_target = np.bincount(
+                small_random_graph.edge_targets[live],
+                minlength=small_random_graph.num_nodes,
+            )
+            assert per_target.max() <= 1
+
+    def test_weight_one_always_picked(self, line_graph):
+        live = sample_lt_live_edges(line_graph, np.ones(3), rng=1)
+        assert live.all()
+
+    def test_weight_zero_never_picked(self, line_graph):
+        live = sample_lt_live_edges(line_graph, np.zeros(3), rng=1)
+        assert not live.any()
+
+    def test_pick_frequency_matches_weight(self):
+        """Node 2 of the diamond's sink has two in-edges at 0.6/0.2:
+        empirical pick rates must match."""
+        g = DirectedGraph.from_edges([(0, 2), (1, 2)])
+        weights = np.zeros(2)
+        weights[g.edge_id(0, 2)] = 0.6
+        weights[g.edge_id(1, 2)] = 0.2
+        rng = np.random.default_rng(2)
+        picks = np.zeros(2)
+        trials = 4000
+        for _ in range(trials):
+            live = sample_lt_live_edges(g, weights, rng=rng)
+            picks += live
+        assert picks[g.edge_id(0, 2)] / trials == pytest.approx(0.6, abs=0.03)
+        assert picks[g.edge_id(1, 2)] / trials == pytest.approx(0.2, abs=0.03)
+
+
+class TestSimulation:
+    def test_deterministic_chain(self, line_graph):
+        active = simulate_lt_clicks(line_graph, np.ones(3), [0], rng=3)
+        assert active.all()
+
+    def test_no_seeds(self, line_graph):
+        assert not simulate_lt_clicks(line_graph, np.ones(3), [], rng=3).any()
+
+    def test_ctp_gates(self, line_graph):
+        active = simulate_lt_clicks(
+            line_graph, np.ones(3), [0], ctps=np.zeros(4), rng=3
+        )
+        assert not active.any()
+
+    def test_spread_monotone_in_seeds(self, small_random_graph):
+        weights = weighted_cascade_probabilities(small_random_graph)
+        one = estimate_lt_spread(small_random_graph, weights, [0], num_runs=400, seed=4)
+        two = estimate_lt_spread(
+            small_random_graph, weights, [0, 1], num_runs=400, seed=4
+        )
+        assert two.mean >= one.mean - 4 * (one.std_error + two.std_error)
+
+    def test_line_graph_closed_form(self, line_graph):
+        """Chain with weight w: E[spread from node 0] = Σ w^k."""
+        w = 0.5
+        estimate = estimate_lt_spread(
+            line_graph, np.full(3, w), [0], num_runs=6_000, seed=5
+        )
+        expected = 1 + w + w**2 + w**3
+        assert estimate.mean == pytest.approx(expected, abs=4 * estimate.std_error + 0.02)
+
+
+class TestLTRRSets:
+    def test_path_structure(self, small_random_graph):
+        weights = weighted_cascade_probabilities(small_random_graph)
+        rng = np.random.default_rng(6)
+        for _ in range(20):
+            rr = sample_lt_rr_set(small_random_graph, weights, rng=rng)
+            # an LT RR-set is a simple path: all members distinct
+            assert len(set(rr.tolist())) == len(rr)
+
+    def test_root_included(self, line_graph):
+        rr = sample_lt_rr_set(line_graph, np.zeros(3), rng=7, root=2)
+        assert rr.tolist() == [2]
+
+    def test_unbiased_spread_estimation(self):
+        """n · F_R(S) under LT RR-sets matches LT Monte Carlo."""
+        g = erdos_renyi(30, 0.12, seed=8)
+        weights = weighted_cascade_probabilities(g)
+        seeds = [0, 1, 2]
+        mc = estimate_lt_spread(g, weights, seeds, num_runs=4_000, seed=9)
+        sets = sample_lt_rr_sets(g, weights, 20_000, rng=10)
+        rr_estimate = estimate_spread_from_sets(sets, g.num_nodes, seeds)
+        assert rr_estimate == pytest.approx(mc.mean, rel=0.08, abs=0.1)
+
+    def test_count_validation(self, line_graph):
+        with pytest.raises(ValueError):
+            sample_lt_rr_sets(line_graph, np.ones(3), -1)

@@ -1,0 +1,35 @@
+"""SpreadEstimate statistics."""
+
+import math
+
+import pytest
+
+from repro.diffusion.montecarlo import SpreadEstimate, combine_mean_variance
+
+
+def test_combine_mean_variance_basic():
+    mean, stderr = combine_mean_variance([1.0, 2.0, 3.0])
+    assert mean == pytest.approx(2.0)
+    assert stderr == pytest.approx(math.sqrt(1.0 / 3.0))
+
+
+def test_combine_empty():
+    assert combine_mean_variance([]) == (0.0, 0.0)
+
+
+def test_combine_single_value():
+    mean, stderr = combine_mean_variance([5.0])
+    assert mean == 5.0
+    assert stderr == 0.0
+
+
+def test_estimate_float_conversion():
+    estimate = SpreadEstimate(mean=3.5, std_error=0.1, num_runs=100)
+    assert float(estimate) == 3.5
+
+
+def test_confidence_interval_width():
+    estimate = SpreadEstimate(mean=10.0, std_error=1.0, num_runs=100)
+    low, high = estimate.confidence_interval(z=2.0)
+    assert low == pytest.approx(8.0)
+    assert high == pytest.approx(12.0)

@@ -1,0 +1,58 @@
+"""Spread oracles: caching, exactness, CRN stability, revenue scaling."""
+
+import pytest
+
+from repro.diffusion.exact import exact_spread
+from repro.diffusion.spread import ExactSpreadOracle, MonteCarloSpreadOracle
+
+
+class TestExactOracle:
+    def test_matches_direct_computation(self, two_ad_problem):
+        oracle = ExactSpreadOracle(two_ad_problem)
+        for ad in range(2):
+            direct = exact_spread(
+                two_ad_problem.graph,
+                two_ad_problem.ad_edge_probabilities(ad),
+                [0, 1],
+                ctps=two_ad_problem.ad_ctps(ad),
+            )
+            assert oracle.spread(ad, frozenset({0, 1})) == pytest.approx(direct)
+
+    def test_empty_set_zero(self, two_ad_problem):
+        assert ExactSpreadOracle(two_ad_problem).spread(0, frozenset()) == 0.0
+
+    def test_revenue_scales_by_cpe(self, two_ad_problem):
+        oracle = ExactSpreadOracle(two_ad_problem)
+        spread = oracle.spread(1, frozenset({0}))
+        assert oracle.revenue(1, frozenset({0})) == pytest.approx(2.0 * spread)
+
+    def test_caching(self, two_ad_problem):
+        oracle = ExactSpreadOracle(two_ad_problem)
+        oracle.spread(0, frozenset({0}))
+        oracle.spread(0, frozenset({0}))
+        assert oracle.cache_size == 1
+
+
+class TestMonteCarloOracle:
+    def test_close_to_exact(self, two_ad_problem):
+        oracle = MonteCarloSpreadOracle(two_ad_problem, num_runs=3000, seed=1)
+        exact = ExactSpreadOracle(two_ad_problem)
+        seeds = frozenset({0, 2})
+        assert oracle.spread(0, seeds) == pytest.approx(exact.spread(0, seeds), abs=0.1)
+
+    def test_common_random_numbers_monotone(self, two_ad_problem):
+        """With CRN, adding a seed never decreases the per-world count, so
+        the estimate is monotone even at small run counts."""
+        oracle = MonteCarloSpreadOracle(two_ad_problem, num_runs=30, seed=2)
+        small = oracle.spread(0, frozenset({1}))
+        large = oracle.spread(0, frozenset({1, 2}))
+        assert large >= small - 1e-12
+
+    def test_deterministic(self, two_ad_problem):
+        a = MonteCarloSpreadOracle(two_ad_problem, num_runs=50, seed=3)
+        b = MonteCarloSpreadOracle(two_ad_problem, num_runs=50, seed=3)
+        assert a.spread(0, frozenset({0})) == b.spread(0, frozenset({0}))
+
+    def test_validates_runs(self, two_ad_problem):
+        with pytest.raises(ValueError):
+            MonteCarloSpreadOracle(two_ad_problem, num_runs=0)

@@ -1,0 +1,57 @@
+"""TIC-CTP wrappers: topic-model collapse feeding the IC engine."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.exact import exact_spread
+from repro.diffusion.ticctp import tic_ctp_estimate_spread
+from repro.topics.distribution import TopicDistribution
+from repro.topics.model import TopicModel
+
+
+@pytest.fixture
+def model(diamond_graph):
+    edge_probs = np.asarray([[0.8] * 4, [0.2] * 4])
+    seed_probs = np.asarray([[0.9] * 4, [0.3] * 4])
+    return TopicModel(diamond_graph, edge_probs, seed_probs)
+
+
+def test_matches_exact_after_collapse(model, diamond_graph):
+    gamma = TopicDistribution([0.5, 0.5])
+    edge_probs = model.ad_edge_probabilities(gamma)
+    ctps = model.ad_ctps(gamma)
+    exact = exact_spread(diamond_graph, edge_probs, [0], ctps=ctps)
+    estimate = tic_ctp_estimate_spread(model, gamma, [0], num_runs=4000, seed=1)
+    assert estimate.mean == pytest.approx(exact, abs=4 * estimate.std_error + 0.03)
+
+
+def test_explicit_ctps_override(model):
+    gamma = TopicDistribution.point(2, 0)
+    with_ones = tic_ctp_estimate_spread(
+        model, gamma, [0], ctps=np.ones(4), num_runs=500, seed=2
+    )
+    derived = tic_ctp_estimate_spread(model, gamma, [0], num_runs=500, seed=2)
+    assert with_ones.mean >= derived.mean
+
+
+def test_lemma1_marginal_identity(model, diamond_graph):
+    """Lemma 1: δ(u,i)·[σ_ic(S∪u) − σ_ic(S)] = σ_i(S∪u) − σ_i(S) when the
+    seeds of S click deterministically.
+
+    The identity is exact when nodes of S have CTP 1 (the case the
+    paper's possible-world argument covers); we verify that form.
+    """
+    gamma = TopicDistribution.point(2, 0)
+    edge_probs = model.ad_edge_probabilities(gamma)
+    n = diamond_graph.num_nodes
+    u, seeds = 1, [0]
+    delta_u = 0.35
+    ctps = np.ones(n)
+    ctps[u] = delta_u
+    ic_gain = exact_spread(diamond_graph, edge_probs, seeds + [u]) - exact_spread(
+        diamond_graph, edge_probs, seeds
+    )
+    ctp_gain = exact_spread(
+        diamond_graph, edge_probs, seeds + [u], ctps=ctps
+    ) - exact_spread(diamond_graph, edge_probs, seeds, ctps=ctps)
+    assert ctp_gain == pytest.approx(delta_u * ic_gain, rel=1e-9)

@@ -1,0 +1,84 @@
+"""The Monte-Carlo regret referee."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.allocation import Allocation
+from repro.datasets.toy import (
+    PAPER_REGRET_A_LAMBDA0,
+    PAPER_REGRET_B_LAMBDA0,
+    figure1_allocation_a,
+    figure1_allocation_b,
+    figure1_problem,
+)
+from repro.diffusion.exact import exact_spread
+from repro.errors import ConfigurationError
+from repro.evaluation.evaluator import RegretEvaluator
+
+
+class TestMeasureRevenues:
+    def test_matches_exact_on_gadget(self):
+        problem = figure1_problem()
+        alloc = figure1_allocation_b()
+        evaluator = RegretEvaluator(problem, num_runs=6_000, seed=1)
+        revenues, errors = evaluator.measure_revenues(alloc)
+        for ad in range(4):
+            expected = exact_spread(
+                problem.graph,
+                problem.ad_edge_probabilities(ad),
+                alloc.seed_array(ad),
+                ctps=problem.ad_ctps(ad),
+            )
+            assert revenues[ad] == pytest.approx(expected, abs=4 * errors[ad] + 0.02)
+
+    def test_empty_ad_zero(self):
+        problem = figure1_problem()
+        alloc = Allocation(4, 6)
+        evaluator = RegretEvaluator(problem, num_runs=10, seed=2)
+        revenues, errors = evaluator.measure_revenues(alloc)
+        assert np.all(revenues == 0)
+        assert np.all(errors == 0)
+
+    def test_ad_count_mismatch(self):
+        problem = figure1_problem()
+        evaluator = RegretEvaluator(problem, num_runs=10)
+        with pytest.raises(ConfigurationError):
+            evaluator.measure_revenues(Allocation(3, 6))
+
+    def test_deterministic_under_seed(self):
+        problem = figure1_problem()
+        alloc = figure1_allocation_b()
+        a, _ = RegretEvaluator(problem, num_runs=100, seed=3).measure_revenues(alloc)
+        b, _ = RegretEvaluator(problem, num_runs=100, seed=3).measure_revenues(alloc)
+        assert np.allclose(a, b)
+
+
+class TestEvaluate:
+    def test_example1_regrets(self):
+        """Example 1: regret(A) ≈ 6.6, regret(B) ≈ 2.7 at λ = 0."""
+        problem = figure1_problem()
+        evaluator = RegretEvaluator(problem, num_runs=8_000, seed=4)
+        report_a = evaluator.evaluate(figure1_allocation_a(), algorithm="A")
+        report_b = evaluator.evaluate(figure1_allocation_b(), algorithm="B")
+        assert report_a.total_regret == pytest.approx(PAPER_REGRET_A_LAMBDA0, abs=0.15)
+        assert report_b.total_regret == pytest.approx(PAPER_REGRET_B_LAMBDA0, abs=0.15)
+
+    def test_penalty_included(self):
+        problem = figure1_problem(penalty=0.1)
+        evaluator = RegretEvaluator(problem, num_runs=4_000, seed=5)
+        report = evaluator.evaluate(figure1_allocation_b())
+        # Example 2: 2.7 + 0.1 * 6 seeds = 3.3
+        assert report.total_regret == pytest.approx(3.3, abs=0.15)
+
+    def test_report_counters(self):
+        problem = figure1_problem()
+        evaluator = RegretEvaluator(problem, num_runs=50, seed=6)
+        report = evaluator.evaluate(figure1_allocation_b(), algorithm="B")
+        assert report.algorithm == "B"
+        assert report.num_targeted_users == 6
+        assert report.total_seeds == 6
+        assert report.num_runs == 50
+
+    def test_validates_num_runs(self):
+        with pytest.raises(ConfigurationError):
+            RegretEvaluator(figure1_problem(), num_runs=0)

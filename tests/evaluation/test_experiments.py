@@ -1,0 +1,76 @@
+"""Experiment sweep helpers."""
+
+import pytest
+
+from repro.algorithms.myopic import MyopicAllocator, MyopicPlusAllocator
+from repro.datasets.toy import figure1_problem
+from repro.evaluation.experiments import (
+    run_allocator,
+    sweep_attention_bounds,
+    sweep_penalties,
+)
+
+
+def test_run_allocator_protocol():
+    problem = figure1_problem()
+    result, report = run_allocator(
+        problem, MyopicAllocator(), eval_runs=200, eval_seed=1
+    )
+    assert result.algorithm == "Myopic"
+    assert report.algorithm == "Myopic"
+    assert report.total_regret > 0
+
+
+def test_sweep_attention_bounds_grid():
+    def factory(kappa):
+        return figure1_problem().with_attention(
+            __import__("repro.advertising.attention", fromlist=["AttentionBounds"])
+            .AttentionBounds.uniform(6, kappa)
+        )
+
+    records = sweep_attention_bounds(
+        "fig3-test",
+        factory,
+        {"Myopic": MyopicAllocator(), "Myopic+": MyopicPlusAllocator()},
+        [1, 2],
+        eval_runs=100,
+        eval_seed=2,
+    )
+    assert len(records) == 4
+    kappas = {r.parameters["kappa"] for r in records}
+    assert kappas == {1, 2}
+    algorithms = {r.algorithm for r in records}
+    assert algorithms == {"Myopic", "Myopic+"}
+    for record in records:
+        assert record.experiment == "fig3-test"
+        assert record.total_regret >= 0
+        assert record.runtime_seconds >= 0
+
+
+def test_sweep_penalties_grid():
+    records = sweep_penalties(
+        "fig4-test",
+        lambda lam: figure1_problem(penalty=lam),
+        {"Myopic": MyopicAllocator()},
+        [0.0, 0.1],
+        eval_runs=100,
+        eval_seed=3,
+    )
+    assert len(records) == 2
+    assert records[0].parameters["lambda"] == 0.0
+    assert records[1].parameters["lambda"] == 0.1
+    # regret grows with lambda for a fixed allocation
+    assert records[1].total_regret >= records[0].total_regret
+
+
+def test_records_carry_signed_gaps():
+    records = sweep_penalties(
+        "x",
+        lambda lam: figure1_problem(penalty=lam),
+        {"Myopic": MyopicAllocator()},
+        [0.0],
+        eval_runs=50,
+        eval_seed=4,
+    )
+    gaps = records[0].extras["signed_gaps"]
+    assert len(gaps) == 4

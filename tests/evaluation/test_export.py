@@ -1,0 +1,78 @@
+"""Experiment record export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.evaluation.experiments import ExperimentRecord
+from repro.evaluation.export import (
+    load_records_json,
+    record_to_dict,
+    records_to_csv,
+    records_to_json,
+)
+
+
+@pytest.fixture
+def records():
+    return [
+        ExperimentRecord(
+            experiment="fig3",
+            algorithm="TIRM",
+            parameters={"kappa": 1},
+            total_regret=5.0,
+            relative_regret=0.05,
+            num_targeted_users=100,
+            total_seeds=120,
+            runtime_seconds=1.5,
+            extras={"stats": {"theta": 1000}},
+        ),
+        ExperimentRecord(
+            experiment="fig4",
+            algorithm="Myopic",
+            parameters={"lambda": 0.5},
+            total_regret=50.0,
+            relative_regret=0.5,
+            num_targeted_users=300,
+            total_seeds=300,
+            runtime_seconds=0.01,
+        ),
+    ]
+
+
+def test_record_to_dict_flattens_params(records):
+    row = record_to_dict(records[0])
+    assert row["algorithm"] == "TIRM"
+    assert row["param_kappa"] == 1
+    assert "extras" not in row
+    with_extras = record_to_dict(records[0], include_extras=True)
+    assert with_extras["extras"]["stats"]["theta"] == 1000
+
+
+def test_json_roundtrip(records, tmp_path):
+    path = tmp_path / "records.json"
+    text = records_to_json(records, path)
+    assert json.loads(text) == load_records_json(path)
+    loaded = load_records_json(path)
+    assert loaded[0]["total_regret"] == 5.0
+    assert loaded[1]["param_lambda"] == 0.5
+
+
+def test_json_without_path_returns_text(records):
+    text = records_to_json(records, include_extras=False)
+    payload = json.loads(text)
+    assert len(payload) == 2
+    assert "extras" not in payload[0]
+
+
+def test_csv_union_of_parameters(records, tmp_path):
+    path = tmp_path / "records.csv"
+    records_to_csv(records, path)
+    with open(path) as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 2
+    assert rows[0]["param_kappa"] == "1"
+    assert rows[0]["param_lambda"] == ""  # missing for the fig3 record
+    assert rows[1]["param_lambda"] == "0.5"
+    assert rows[1]["algorithm"] == "Myopic"

@@ -1,0 +1,50 @@
+"""Derived metrics."""
+
+import pytest
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.regret import allocation_regret
+from repro.evaluation.metrics import (
+    overshoot_count,
+    regret_skew,
+    relative_regret,
+    targeted_node_counts,
+    undershoot_count,
+)
+
+
+@pytest.fixture
+def breakdown():
+    return allocation_regret(
+        revenues=[12.0, 8.0, 10.0],
+        budgets=[10.0, 10.0, 10.0],
+        seed_counts=[3, 2, 1],
+        penalty=0.0,
+    )
+
+
+def test_relative_regret(breakdown):
+    assert relative_regret(breakdown) == pytest.approx(4.0 / 30.0)
+
+
+def test_overshoot_undershoot(breakdown):
+    assert overshoot_count(breakdown) == 1
+    assert undershoot_count(breakdown) == 1
+
+
+def test_regret_skew(breakdown):
+    # budget regrets: [2, 2, 0] -> median 2, max 2 -> skew 1
+    assert regret_skew(breakdown) == pytest.approx(1.0)
+
+
+def test_regret_skew_degenerate():
+    perfect = allocation_regret([10.0], [10.0], [0], 0.0)
+    assert regret_skew(perfect) == 0.0
+
+
+def test_targeted_node_counts():
+    allocations = {
+        "a": Allocation.from_seed_sets([[0, 1], [1]], num_nodes=5),
+        "b": Allocation.from_seed_sets([[2], []], num_nodes=5),
+    }
+    assert targeted_node_counts(allocations) == {"a": 2, "b": 1}

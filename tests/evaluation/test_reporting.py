@@ -1,0 +1,72 @@
+"""Plain-text report formatting."""
+
+from repro.evaluation.experiments import ExperimentRecord
+from repro.evaluation.reporting import format_records, format_series, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["bbbb", 22]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    # all data lines same width
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_format_table_float_formatting():
+    text = format_table(["v"], [[0.123456], [12345.6], [0.0001234], [0]])
+    assert "0.12" in text
+    assert "1.23e+04" in text or "12345" in text
+    assert "0.000123" in text
+    assert "\n0" in text or "| 0" in text or text.endswith("0")
+
+
+def test_format_series():
+    text = format_series(
+        "kappa", [1, 2], {"TIRM": [5.0, 4.0], "Myopic": [9.0, 11.0]}, title="Fig 3"
+    )
+    assert "Fig 3" in text
+    assert "kappa" in text
+    assert "TIRM" in text
+    assert "Myopic" in text
+    assert len(text.splitlines()) == 5
+
+
+def _record(algorithm, kappa, regret):
+    return ExperimentRecord(
+        experiment="e",
+        algorithm=algorithm,
+        parameters={"kappa": kappa},
+        total_regret=regret,
+        relative_regret=regret / 10,
+        num_targeted_users=3,
+        total_seeds=3,
+        runtime_seconds=0.1,
+    )
+
+
+def test_format_records_pivot():
+    records = [
+        _record("TIRM", 1, 5.0),
+        _record("TIRM", 2, 4.0),
+        _record("Myopic", 1, 9.0),
+        _record("Myopic", 2, 11.0),
+    ]
+    text = format_records(records, title="pivot")
+    lines = text.splitlines()
+    assert lines[0] == "pivot"
+    assert "Myopic" in lines[1] and "TIRM" in lines[1]
+    assert len(lines) == 5  # title + header + sep + 2 rows
+
+
+def test_format_records_missing_cell():
+    records = [_record("TIRM", 1, 5.0), _record("Myopic", 2, 9.0)]
+    text = format_records(records)
+    assert "-" in text
+
+
+def test_format_records_other_value():
+    records = [_record("TIRM", 1, 5.0)]
+    text = format_records(records, value="total_seeds")
+    assert "3" in text

@@ -1,0 +1,71 @@
+"""Bootstrap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.statistics import (
+    bootstrap_mean,
+    paired_regret_comparison,
+)
+
+
+class TestBootstrapMean:
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(0)
+        interval = bootstrap_mean(rng.normal(5.0, 1.0, size=200), seed=1)
+        assert interval.low <= interval.estimate <= interval.high
+        assert interval.contains(interval.estimate)
+
+    def test_interval_covers_true_mean_usually(self):
+        rng = np.random.default_rng(2)
+        interval = bootstrap_mean(rng.normal(3.0, 0.5, size=500), seed=3)
+        assert interval.contains(3.0)
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(4)
+        small = bootstrap_mean(rng.normal(0, 1, size=20), seed=5)
+        large = bootstrap_mean(rng.normal(0, 1, size=2000), seed=5)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_deterministic_under_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        a = bootstrap_mean(data, seed=6)
+        b = bootstrap_mean(data, seed=6)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"values": []},
+            {"values": [1.0], "confidence": 0.0},
+            {"values": [1.0], "confidence": 1.0},
+            {"values": [1.0], "num_resamples": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            bootstrap_mean(kwargs.pop("values"), **kwargs)
+
+
+class TestPairedComparison:
+    def test_clear_winner(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(1.0, 0.1, size=50)
+        b = rng.normal(2.0, 0.1, size=50)
+        comparison = paired_regret_comparison(a, b, seed=8)
+        assert comparison.mean_difference < 0
+        assert comparison.significant
+        assert comparison.win_rate > 0.9
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(9)
+        a = rng.normal(1.0, 0.5, size=40)
+        b = a + rng.normal(0.0, 0.01, size=40)
+        comparison = paired_regret_comparison(a, b, seed=10)
+        assert not comparison.significant or abs(comparison.mean_difference) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_regret_comparison([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_regret_comparison([], [])

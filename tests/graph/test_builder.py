@@ -1,0 +1,56 @@
+"""GraphBuilder staging behaviour."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+def test_chained_adds():
+    g = GraphBuilder().add_edge(0, 1).add_edge(1, 2).build()
+    assert g.num_edges == 2
+    assert g.num_nodes == 3
+
+
+def test_add_edges_bulk():
+    g = GraphBuilder(num_nodes=5).add_edges([(0, 1), (3, 4)]).build()
+    assert g.num_nodes == 5
+    assert g.has_edge(3, 4)
+
+
+def test_add_undirected_edge():
+    g = GraphBuilder().add_undirected_edge(0, 1).build()
+    assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+
+def test_skip_self_loops():
+    builder = GraphBuilder(skip_self_loops=True)
+    builder.add_edge(0, 0).add_edge(0, 1)
+    assert len(builder) == 1
+    assert builder.build().num_edges == 1
+
+
+def test_self_loop_fails_at_build_without_skip():
+    with pytest.raises(GraphError):
+        GraphBuilder().add_edge(0, 0).build()
+
+
+def test_skip_duplicates():
+    g = GraphBuilder(skip_duplicates=True).add_edges([(0, 1), (0, 1), (1, 0)]).build()
+    assert g.num_edges == 2
+
+
+def test_duplicates_fail_without_skip():
+    with pytest.raises(GraphError):
+        GraphBuilder().add_edges([(0, 1), (0, 1)]).build()
+
+
+def test_empty_builder_builds_empty_graph():
+    g = GraphBuilder().build()
+    assert g.num_nodes == 0
+    assert g.num_edges == 0
+
+
+def test_fixed_num_nodes_respected():
+    g = GraphBuilder(num_nodes=10).add_edge(0, 1).build()
+    assert g.num_nodes == 10

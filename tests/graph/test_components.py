@@ -1,0 +1,109 @@
+"""Connectivity algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.graph.components import (
+    bfs_distances,
+    largest_component_fraction,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import cycle_graph, erdos_renyi
+
+
+class TestBFSDistances:
+    def test_line(self, line_graph):
+        assert bfs_distances(line_graph, 0).tolist() == [0, 1, 2, 3]
+
+    def test_unreachable(self, line_graph):
+        assert bfs_distances(line_graph, 3).tolist() == [-1, -1, -1, 0]
+
+    def test_diamond_shortest(self, diamond_graph):
+        distances = bfs_distances(diamond_graph, 0)
+        assert distances[3] == 2
+
+    def test_out_of_range(self, line_graph):
+        with pytest.raises(ValueError):
+            bfs_distances(line_graph, 9)
+
+    def test_matches_networkx(self, small_random_graph):
+        networkx = pytest.importorskip("networkx")
+        nxg = networkx.DiGraph(
+            [(int(u), int(v)) for u, v in small_random_graph.edges()]
+        )
+        nxg.add_nodes_from(range(small_random_graph.num_nodes))
+        expected = networkx.single_source_shortest_path_length(nxg, 0)
+        got = bfs_distances(small_random_graph, 0)
+        for node in range(small_random_graph.num_nodes):
+            assert got[node] == expected.get(node, -1)
+
+
+class TestWeaklyConnected:
+    def test_two_islands(self):
+        g = DirectedGraph.from_edges([(0, 1), (2, 3)], num_nodes=4)
+        labels = weakly_connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_direction_ignored(self):
+        g = DirectedGraph.from_edges([(1, 0), (1, 2)], num_nodes=3)
+        labels = weakly_connected_components(g)
+        assert len(set(labels.tolist())) == 1
+
+    def test_isolated_nodes(self):
+        g = DirectedGraph(3, [], [])
+        labels = weakly_connected_components(g)
+        assert sorted(labels.tolist()) == [0, 1, 2]
+
+    def test_matches_networkx(self, small_random_graph):
+        networkx = pytest.importorskip("networkx")
+        nxg = networkx.Graph(
+            [(int(u), int(v)) for u, v in small_random_graph.edges()]
+        )
+        nxg.add_nodes_from(range(small_random_graph.num_nodes))
+        expected = list(networkx.connected_components(nxg))
+        labels = weakly_connected_components(small_random_graph)
+        got = {}
+        for node in range(small_random_graph.num_nodes):
+            got.setdefault(int(labels[node]), set()).add(node)
+        assert sorted(map(sorted, got.values())) == sorted(map(sorted, expected))
+
+
+class TestStronglyConnected:
+    def test_cycle_is_one_scc(self):
+        labels = strongly_connected_components(cycle_graph(5))
+        assert len(set(labels.tolist())) == 1
+
+    def test_dag_all_singletons(self, diamond_graph):
+        labels = strongly_connected_components(diamond_graph)
+        assert len(set(labels.tolist())) == 4
+
+    def test_mixed(self):
+        # 0 <-> 1 cycle, 2 downstream
+        g = DirectedGraph.from_edges([(0, 1), (1, 0), (1, 2)])
+        labels = strongly_connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[0]
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        g = erdos_renyi(40, 0.08, seed=21)
+        nxg = networkx.DiGraph([(int(u), int(v)) for u, v in g.edges()])
+        nxg.add_nodes_from(range(40))
+        expected = sorted(
+            sorted(component) for component in networkx.strongly_connected_components(nxg)
+        )
+        labels = strongly_connected_components(g)
+        got = {}
+        for node in range(40):
+            got.setdefault(int(labels[node]), []).append(node)
+        assert sorted(sorted(c) for c in got.values()) == expected
+
+
+def test_largest_component_fraction():
+    g = DirectedGraph.from_edges([(0, 1), (1, 2)], num_nodes=5)
+    assert largest_component_fraction(g) == pytest.approx(3 / 5)
+    assert largest_component_fraction(DirectedGraph(0, [], [])) == 0.0

@@ -1,0 +1,89 @@
+"""Edge-list read/write round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def test_roundtrip_plain(tmp_path, diamond_graph):
+    path = tmp_path / "g.txt"
+    write_edge_list(path, diamond_graph)
+    loaded, probs = read_edge_list(path)
+    assert loaded == diamond_graph
+    assert probs is None
+
+
+def test_roundtrip_with_probabilities(tmp_path, diamond_graph):
+    path = tmp_path / "g.txt"
+    probs = np.asarray([0.1, 0.2, 0.3, 0.4])
+    write_edge_list(path, diamond_graph, probs)
+    loaded, loaded_probs = read_edge_list(path)
+    assert loaded == diamond_graph
+    assert np.allclose(loaded_probs, probs)
+
+
+def test_roundtrip_gzip(tmp_path, line_graph):
+    path = tmp_path / "g.txt.gz"
+    write_edge_list(path, line_graph, header="test graph")
+    loaded, _ = read_edge_list(path)
+    assert loaded == line_graph
+
+
+def test_comments_and_blank_lines_skipped(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# SNAP-style header\n\n0 1\n# more comments\n1 2\n")
+    g, _ = read_edge_list(path)
+    assert g.num_edges == 2
+
+
+def test_undirected_read_doubles_edges(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n")
+    g, _ = read_edge_list(path, directed=False)
+    assert g.num_edges == 4
+    assert g.has_edge(1, 0)
+
+
+def test_undirected_probabilities_shared(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1 0.25\n")
+    g, probs = read_edge_list(path, directed=False)
+    assert g.num_edges == 2
+    assert np.allclose(probs, [0.25, 0.25])
+
+
+def test_self_loops_skipped_by_default(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 0\n0 1\n")
+    g, _ = read_edge_list(path)
+    assert g.num_edges == 1
+
+
+def test_duplicates_skipped_by_default(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n0 1\n")
+    g, _ = read_edge_list(path)
+    assert g.num_edges == 1
+
+
+def test_bad_column_count_raises(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1 2 3\n")
+    with pytest.raises(GraphError, match="columns"):
+        read_edge_list(path)
+
+
+def test_write_probability_shape_checked(tmp_path, line_graph):
+    with pytest.raises(GraphError, match="shape"):
+        write_edge_list(tmp_path / "g.txt", line_graph, [0.5])
+
+
+def test_header_written_as_comments(tmp_path):
+    g = DirectedGraph.from_edges([(0, 1)])
+    path = tmp_path / "g.txt"
+    write_edge_list(path, g, header="line one\nline two")
+    text = path.read_text()
+    assert text.startswith("# line one\n# line two\n")

@@ -1,0 +1,72 @@
+"""Per-edge probability assignments."""
+
+import numpy as np
+import pytest
+
+from repro.graph.probabilities import (
+    constant_probabilities,
+    exponential_probabilities,
+    trivalency_probabilities,
+    weighted_cascade_probabilities,
+)
+
+
+def test_constant(diamond_graph):
+    probs = constant_probabilities(diamond_graph, 0.3)
+    assert probs.shape == (4,)
+    assert np.all(probs == 0.3)
+
+
+def test_constant_validates(diamond_graph):
+    with pytest.raises(ValueError):
+        constant_probabilities(diamond_graph, 1.5)
+
+
+def test_weighted_cascade_sums_to_one_per_target(diamond_graph):
+    """Incoming probabilities of every node with in-degree > 0 sum to 1."""
+    probs = weighted_cascade_probabilities(diamond_graph)
+    for v in range(diamond_graph.num_nodes):
+        eids = diamond_graph.in_edges_of(v)
+        if eids.size:
+            assert probs[eids].sum() == pytest.approx(1.0)
+
+
+def test_weighted_cascade_value(diamond_graph):
+    # node 3 has in-degree 2 -> each incoming edge gets 1/2
+    probs = weighted_cascade_probabilities(diamond_graph)
+    eid = diamond_graph.edge_id(1, 3)
+    assert probs[eid] == pytest.approx(0.5)
+
+
+def test_trivalency_values_only(small_random_graph):
+    probs = trivalency_probabilities(small_random_graph, seed=1)
+    assert set(np.unique(probs)) <= {0.1, 0.01, 0.001}
+
+
+def test_trivalency_deterministic(small_random_graph):
+    a = trivalency_probabilities(small_random_graph, seed=2)
+    b = trivalency_probabilities(small_random_graph, seed=2)
+    assert np.array_equal(a, b)
+
+
+def test_trivalency_rejects_empty_values(small_random_graph):
+    with pytest.raises(ValueError):
+        trivalency_probabilities(small_random_graph, values=())
+
+
+def test_exponential_mean_matches_rate(small_random_graph):
+    probs = exponential_probabilities(small_random_graph, rate=30.0, seed=3)
+    assert probs.min() >= 0.0 and probs.max() <= 1.0
+    # mean ~ 1/30 with clipping; loose statistical check
+    assert 0.5 / 30 < probs.mean() < 2.0 / 30
+
+
+def test_exponential_rejects_bad_rate(small_random_graph):
+    with pytest.raises(ValueError):
+        exponential_probabilities(small_random_graph, rate=0.0)
+
+
+def test_exponential_deterministic(small_random_graph):
+    a = exponential_probabilities(small_random_graph, seed=9)
+    b = exponential_probabilities(small_random_graph, seed=9)
+    assert np.array_equal(a, b)

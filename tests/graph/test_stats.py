@@ -1,0 +1,41 @@
+"""Graph summary statistics."""
+
+import pytest
+
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import complete_graph
+from repro.graph.stats import graph_stats
+
+
+def test_line_graph_stats(line_graph):
+    stats = graph_stats(line_graph)
+    assert stats.num_nodes == 4
+    assert stats.num_edges == 3
+    assert stats.avg_out_degree == pytest.approx(0.75)
+    assert stats.max_out_degree == 1
+    assert stats.max_in_degree == 1
+    assert stats.num_reciprocal_edges == 0
+
+
+def test_reciprocal_count():
+    g = DirectedGraph.from_edges([(0, 1), (1, 0), (1, 2)])
+    stats = graph_stats(g)
+    assert stats.num_reciprocal_edges == 2
+
+
+def test_complete_graph_density():
+    stats = graph_stats(complete_graph(5))
+    assert stats.density == pytest.approx(1.0)
+
+
+def test_empty_graph():
+    stats = graph_stats(DirectedGraph(0, [], []))
+    assert stats.num_nodes == 0
+    assert stats.avg_out_degree == 0.0
+    assert stats.density == 0.0
+
+
+def test_summary_mentions_counts(diamond_graph):
+    text = graph_stats(diamond_graph).summary()
+    assert "|V|=4" in text
+    assert "|E|=4" in text

@@ -1,0 +1,101 @@
+"""RR-set sampling: structure and Proposition-1 unbiasedness."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.exact import exact_spread
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.probabilities import constant_probabilities
+from repro.rrset.estimator import estimate_spread_from_sets
+from repro.rrset.sampler import RRSetSampler, sample_rr_set, sample_rr_sets
+
+
+class TestStructure:
+    def test_contains_root(self, line_graph):
+        rr = sample_rr_set(line_graph, np.zeros(3), rng=0, root=2)
+        assert rr.tolist() == [2]
+
+    def test_full_probability_collects_ancestors(self, line_graph):
+        rr = sample_rr_set(line_graph, np.ones(3), rng=0, root=3)
+        assert sorted(rr.tolist()) == [0, 1, 2, 3]
+
+    def test_source_has_no_ancestors(self, line_graph):
+        rr = sample_rr_set(line_graph, np.ones(3), rng=0, root=0)
+        assert rr.tolist() == [0]
+
+    def test_members_reach_root(self, small_random_graph):
+        """Every member of an RR-set must have a directed path to the root
+        in the full graph (a necessary structural condition)."""
+        networkx = pytest.importorskip("networkx")
+        probs = constant_probabilities(small_random_graph, 0.5)
+        nxg = networkx.DiGraph(
+            [
+                (int(u), int(v))
+                for u, v in zip(
+                    small_random_graph.edge_sources, small_random_graph.edge_targets
+                )
+            ]
+        )
+        nxg.add_nodes_from(range(small_random_graph.num_nodes))
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            rr = sample_rr_set(small_random_graph, probs, rng=rng)
+            root = rr[0]
+            ancestors = networkx.ancestors(nxg, int(root)) | {int(root)}
+            assert set(rr.tolist()) <= ancestors
+
+    def test_sample_many(self, small_random_graph):
+        probs = constant_probabilities(small_random_graph, 0.2)
+        sets = sample_rr_sets(small_random_graph, probs, 25, rng=1)
+        assert len(sets) == 25
+        assert all(isinstance(s, np.ndarray) for s in sets)
+
+    def test_count_validation(self, small_random_graph):
+        probs = constant_probabilities(small_random_graph, 0.2)
+        with pytest.raises(ValueError):
+            sample_rr_sets(small_random_graph, probs, -1)
+
+    def test_shape_validation(self, small_random_graph):
+        with pytest.raises(ValueError):
+            sample_rr_sets(small_random_graph, np.ones(3), 1)
+
+
+class TestSamplerObject:
+    def test_counts_sampled(self, small_random_graph):
+        probs = constant_probabilities(small_random_graph, 0.1)
+        sampler = RRSetSampler(small_random_graph, probs, seed=0)
+        sampler.sample(10)
+        sampler.sample(5)
+        assert sampler.num_sampled == 15
+
+    def test_deterministic(self, small_random_graph):
+        probs = constant_probabilities(small_random_graph, 0.1)
+        a = RRSetSampler(small_random_graph, probs, seed=4).sample(5)
+        b = RRSetSampler(small_random_graph, probs, seed=4).sample(5)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+class TestProposition1:
+    """``n · F_R(S)`` is an unbiased estimator of σ_ic(S)."""
+
+    @pytest.mark.parametrize("seeds", [[0], [0, 1], [3]])
+    def test_matches_exact_spread(self, diamond_graph, seeds):
+        probs = np.full(4, 0.5)
+        exact = exact_spread(diamond_graph, probs, seeds)
+        sets = sample_rr_sets(diamond_graph, probs, 30_000, rng=7)
+        estimate = estimate_spread_from_sets(sets, diamond_graph.num_nodes, seeds)
+        assert estimate == pytest.approx(exact, rel=0.07)
+
+    def test_on_random_graph(self):
+        g = erdos_renyi(12, 0.15, seed=9)
+        probs = constant_probabilities(g, 0.4)
+        # keep the graph enumerable for the exact oracle
+        if g.num_edges > 20:
+            pytest.skip("random draw too dense for exact enumeration")
+        seeds = [0, 5]
+        exact = exact_spread(g, probs, seeds)
+        sets = sample_rr_sets(g, probs, 20_000, rng=10)
+        estimate = estimate_spread_from_sets(sets, g.num_nodes, seeds)
+        assert estimate == pytest.approx(exact, rel=0.1, abs=0.1)

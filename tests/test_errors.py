@@ -1,0 +1,26 @@
+"""The exception hierarchy is catchable at the root."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    EstimationError,
+    GraphError,
+    ReproError,
+    TopicModelError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [GraphError, TopicModelError, AllocationError, ConfigurationError, EstimationError],
+)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(ReproError, Exception)

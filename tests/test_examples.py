@@ -1,0 +1,79 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process with ``runpy`` (scripts guard their
+entry point with ``__name__ == "__main__"``), with argv pinned to fast,
+tiny configurations where the script accepts arguments.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, argv: list[str], monkeypatch, capsys) -> str:
+    monkeypatch.setattr(sys, "argv", [script, *argv])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_toy_figure1(monkeypatch, capsys):
+    out = _run("toy_figure1.py", [], monkeypatch, capsys)
+    assert "5.54" in out
+    assert "6.30" in out
+    assert "Examples 1-2" in out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = _run("quickstart.py", [], monkeypatch, capsys)
+    assert "TIRM finished" in out
+    assert "total regret" in out
+
+
+def test_campaign_flixster(monkeypatch, capsys):
+    out = _run(
+        "campaign_flixster.py",
+        ["--scale", "0.005", "--eval-runs", "60"],
+        monkeypatch,
+        capsys,
+    )
+    assert "Quality comparison" in out
+    assert "TIRM" in out and "Myopic+" in out
+
+
+def test_scalability_study(monkeypatch, capsys):
+    out = _run(
+        "scalability_study.py",
+        ["--scale", "0.001", "--ads", "1", "2", "--max-rr-sets", "2000"],
+        monkeypatch,
+        capsys,
+    )
+    assert "TIRM scalability" in out
+
+
+def test_influence_maximization(monkeypatch, capsys):
+    out = _run(
+        "influence_maximization.py",
+        ["--nodes", "200", "--k", "3"],
+        monkeypatch,
+        capsys,
+    )
+    assert "TIM:" in out
+    assert "IRIE top-k" in out
+
+
+def test_competing_advertisers(monkeypatch, capsys):
+    out = _run("competing_advertisers.py", [], monkeypatch, capsys)
+    assert "competition violations" in out
+    assert "regret after repair" in out
+
+
+def test_learn_and_allocate(monkeypatch, capsys):
+    out = _run("learn_and_allocate.py", [], monkeypatch, capsys)
+    assert "learning per-topic probabilities" in out
+    assert "oracle model" in out

@@ -1,0 +1,58 @@
+"""The public API surface: top-level and ``repro.core`` exports."""
+
+import importlib
+
+import pytest
+
+import repro
+import repro.core
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize("name", repro.__all__)
+def test_top_level_exports_resolve(name):
+    assert getattr(repro, name) is not None
+
+
+@pytest.mark.parametrize("name", repro.core.__all__)
+def test_core_exports_resolve(name):
+    assert getattr(repro.core, name) is not None
+
+
+def test_core_is_flat_view_of_subpackages():
+    assert repro.core.TIRMAllocator is repro.algorithms.TIRMAllocator
+    assert repro.core.AdAllocationProblem is repro.advertising.AdAllocationProblem
+    assert repro.core.RegretEvaluator is repro.evaluation.RegretEvaluator
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.graph",
+        "repro.topics",
+        "repro.advertising",
+        "repro.diffusion",
+        "repro.rrset",
+        "repro.algorithms",
+        "repro.datasets",
+        "repro.evaluation",
+        "repro.cli",
+    ],
+)
+def test_subpackages_importable_standalone(module):
+    assert importlib.import_module(module) is not None
+
+
+def test_docstring_quickstart_runs():
+    """The package docstring's doctest-style example holds."""
+    from repro import RegretEvaluator, TIRMAllocator, datasets
+
+    problem = datasets.figure1_problem()
+    result = TIRMAllocator(seed=0).allocate(problem)
+    report = RegretEvaluator(problem, num_runs=2000, seed=1).evaluate(
+        result.allocation, algorithm="TIRM"
+    )
+    assert report.total_regret < 6.6

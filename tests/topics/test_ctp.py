@@ -1,0 +1,42 @@
+"""CTP matrices."""
+
+import numpy as np
+import pytest
+
+from repro.topics.ctp import constant_ctps, ctps_from_topic_model, uniform_ctps
+from repro.topics.distribution import TopicDistribution
+from repro.topics.model import TopicModel
+
+
+def test_uniform_ctps_range_and_shape():
+    ctps = uniform_ctps(3, 100, seed=1)
+    assert ctps.shape == (3, 100)
+    assert ctps.min() >= 0.01
+    assert ctps.max() <= 0.03
+
+
+def test_uniform_ctps_deterministic():
+    assert np.array_equal(uniform_ctps(2, 10, seed=5), uniform_ctps(2, 10, seed=5))
+
+
+def test_uniform_ctps_validates_bounds():
+    with pytest.raises(ValueError):
+        uniform_ctps(1, 10, low=0.5, high=0.1)
+    with pytest.raises(ValueError):
+        uniform_ctps(1, 10, low=-0.1, high=0.5)
+
+
+def test_constant_ctps():
+    ctps = constant_ctps(2, 5, 1.0)
+    assert ctps.shape == (2, 5)
+    assert np.all(ctps == 1.0)
+
+
+def test_ctps_from_topic_model(diamond_graph):
+    seed_probs = np.asarray([[0.01, 0.02, 0.03, 0.04], [0.1, 0.1, 0.1, 0.1]])
+    model = TopicModel(diamond_graph, np.zeros((2, 4)), seed_probs)
+    dists = [TopicDistribution.point(2, 0), TopicDistribution.point(2, 1)]
+    ctps = ctps_from_topic_model(model, dists)
+    assert ctps.shape == (2, 4)
+    assert np.allclose(ctps[0], seed_probs[0])
+    assert np.allclose(ctps[1], seed_probs[1])

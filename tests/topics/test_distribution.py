@@ -1,0 +1,103 @@
+"""TopicDistribution construction and algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopicModelError
+from repro.topics.distribution import TopicDistribution
+
+
+class TestConstruction:
+    def test_valid(self):
+        d = TopicDistribution([0.2, 0.8])
+        assert d.num_topics == 2
+        assert d.gamma.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(TopicModelError):
+            TopicDistribution([-0.1, 1.1])
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(TopicModelError):
+            TopicDistribution([0.4, 0.4])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopicModelError):
+            TopicDistribution([])
+
+    def test_immutability(self):
+        d = TopicDistribution([0.5, 0.5])
+        with pytest.raises(ValueError):
+            d.gamma[0] = 0.9
+
+
+class TestFactories:
+    def test_uniform(self):
+        d = TopicDistribution.uniform(4)
+        assert np.allclose(d.gamma, 0.25)
+
+    def test_uniform_rejects_zero_topics(self):
+        with pytest.raises(TopicModelError):
+            TopicDistribution.uniform(0)
+
+    def test_skewed_matches_paper_recipe(self):
+        """K=10, mass 0.91 -> 0.01 on each of the other nine (§6)."""
+        d = TopicDistribution.skewed(10, 3)
+        assert d.gamma[3] == pytest.approx(0.91)
+        others = np.delete(d.gamma, 3)
+        assert np.allclose(others, 0.01)
+
+    def test_skewed_single_topic(self):
+        d = TopicDistribution.skewed(1, 0)
+        assert d.gamma[0] == pytest.approx(1.0)
+
+    def test_skewed_rejects_bad_dominant(self):
+        with pytest.raises(TopicModelError):
+            TopicDistribution.skewed(3, 5)
+
+    def test_point(self):
+        d = TopicDistribution.point(3, 1)
+        assert d.gamma.tolist() == [0.0, 1.0, 0.0]
+
+    def test_dirichlet_deterministic(self):
+        a = TopicDistribution.dirichlet(5, seed=1)
+        b = TopicDistribution.dirichlet(5, seed=1)
+        assert a == b
+
+
+class TestAlgebra:
+    def test_entropy_point_zero(self):
+        assert TopicDistribution.point(4, 0).entropy() == pytest.approx(0.0)
+
+    def test_entropy_uniform_max(self):
+        assert TopicDistribution.uniform(4).entropy() == pytest.approx(np.log(4))
+
+    def test_overlap_self_is_one(self):
+        d = TopicDistribution.skewed(10, 2)
+        assert d.overlap(d) == pytest.approx(1.0)
+
+    def test_overlap_disjoint_is_zero(self):
+        a = TopicDistribution.point(3, 0)
+        b = TopicDistribution.point(3, 2)
+        assert a.overlap(b) == pytest.approx(0.0)
+
+    def test_overlap_mismatched_spaces_raises(self):
+        with pytest.raises(TopicModelError):
+            TopicDistribution.uniform(2).overlap(TopicDistribution.uniform(3))
+
+    def test_hash_consistent_with_eq(self):
+        a = TopicDistribution([0.3, 0.7])
+        b = TopicDistribution([0.3, 0.7])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(st.integers(2, 8), st.integers(0, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_skewed_always_normalised(self, k, dominant):
+        if dominant >= k:
+            dominant %= k
+        d = TopicDistribution.skewed(k, dominant)
+        assert d.gamma.sum() == pytest.approx(1.0)
+        assert int(np.argmax(d.gamma)) == dominant

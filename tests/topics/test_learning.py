@@ -1,0 +1,109 @@
+"""EM learning of TIC probabilities from cascades."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.ic import simulate_rounds
+from repro.graph.digraph import DirectedGraph
+from repro.graph.generators import erdos_renyi
+from repro.topics.learning import (
+    Cascade,
+    em_estimate_edge_probabilities,
+    generate_cascades,
+    learn_topic_model,
+)
+
+
+class TestSimulateRounds:
+    def test_rounds_on_line(self, line_graph):
+        rounds = simulate_rounds(line_graph, np.ones(3), [0], rng=0)
+        assert rounds.tolist() == [0, 1, 2, 3]
+
+    def test_unreached_marked(self, line_graph):
+        rounds = simulate_rounds(line_graph, np.zeros(3), [1], rng=0)
+        assert rounds.tolist() == [-1, 0, -1, -1]
+
+    def test_failed_seed_round(self):
+        g = DirectedGraph.from_edges([(0, 1)])
+        rounds = simulate_rounds(g, np.ones(1), [0, 1], ctps=np.asarray([1.0, 0.0]), rng=0)
+        # node 1's coin fails but the edge activates it at round 1
+        assert rounds.tolist() == [0, 1]
+
+    def test_no_seeds(self, line_graph):
+        assert simulate_rounds(line_graph, np.ones(3), [], rng=0).tolist() == [-1] * 4
+
+
+class TestGenerateCascades:
+    def test_count_and_shape(self, small_random_graph):
+        probs = np.full(small_random_graph.num_edges, 0.2)
+        cascades = generate_cascades(small_random_graph, probs, 7, seed=1)
+        assert len(cascades) == 7
+        for cascade in cascades:
+            assert cascade.rounds.shape == (small_random_graph.num_nodes,)
+            assert cascade.activated().size >= 1  # the seed always clicks
+
+    def test_validation(self, small_random_graph):
+        probs = np.full(small_random_graph.num_edges, 0.2)
+        with pytest.raises(ValueError):
+            generate_cascades(small_random_graph, probs, -1)
+        with pytest.raises(ValueError):
+            generate_cascades(small_random_graph, probs, 1, seeds_per_cascade=0)
+
+
+class TestEMEstimation:
+    def test_recovers_line_probability(self, line_graph):
+        """On a line graph the MLE is a simple success frequency, which
+        EM must converge to."""
+        true = np.asarray([0.7, 0.4, 0.9])
+        cascades = generate_cascades(line_graph, true, 600, seed=2)
+        learned = em_estimate_edge_probabilities(line_graph, cascades)
+        # edge (0,1) is witnessed in every cascade seeded at 0
+        assert learned[0] == pytest.approx(0.7, abs=0.1)
+
+    def test_unwitnessed_edges_zero(self, line_graph):
+        # cascade that only ever activates node 3 (a sink): no trials
+        cascades = [Cascade(rounds=np.asarray([-1, -1, -1, 0]))]
+        learned = em_estimate_edge_probabilities(line_graph, cascades)
+        assert np.all(learned == 0.0)
+
+    def test_probabilities_valid(self):
+        g = erdos_renyi(25, 0.15, seed=3)
+        true = np.full(g.num_edges, 0.3)
+        cascades = generate_cascades(g, true, 150, seeds_per_cascade=2, seed=4)
+        learned = em_estimate_edge_probabilities(g, cascades)
+        assert learned.min() >= 0.0 and learned.max() <= 1.0
+
+    def test_learned_model_reproduces_spread(self):
+        """The end-to-end check: spreads under learned probabilities are
+        close to spreads under the true ones."""
+        from repro.diffusion.exact import exact_spread
+
+        g = DirectedGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        true = np.asarray([0.6, 0.3, 0.5, 0.8])
+        cascades = generate_cascades(g, true, 2_500, seed=5)
+        learned = em_estimate_edge_probabilities(g, cascades)
+        true_spread = exact_spread(g, true, [0])
+        learned_spread = exact_spread(g, learned, [0])
+        assert learned_spread == pytest.approx(true_spread, rel=0.12)
+
+    def test_validates_initial(self, line_graph):
+        with pytest.raises(ValueError):
+            em_estimate_edge_probabilities(line_graph, [], initial=0.0)
+
+
+class TestLearnTopicModel:
+    def test_per_topic_estimation(self, line_graph):
+        topic0 = np.asarray([0.9, 0.9, 0.9])
+        topic1 = np.asarray([0.1, 0.1, 0.1])
+        cascades = [
+            generate_cascades(line_graph, topic0, 400, seed=6),
+            generate_cascades(line_graph, topic1, 400, seed=7),
+        ]
+        model = learn_topic_model(line_graph, cascades)
+        assert model.num_topics == 2
+        # topic 0's edges are much stronger than topic 1's
+        assert model.edge_probs[0].mean() > model.edge_probs[1].mean() + 0.3
+
+    def test_requires_topics(self, line_graph):
+        with pytest.raises(ValueError):
+            learn_topic_model(line_graph, [])

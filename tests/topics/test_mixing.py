@@ -1,0 +1,53 @@
+"""Eq. (1) mixing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopicModelError
+from repro.topics.distribution import TopicDistribution
+from repro.topics.mixing import mix_edge_probabilities, mix_node_probabilities
+
+
+def test_point_distribution_selects_row():
+    per_topic = np.asarray([[0.1, 0.2], [0.5, 0.6]])
+    mixed = mix_edge_probabilities(per_topic, TopicDistribution.point(2, 1))
+    assert np.allclose(mixed, [0.5, 0.6])
+
+
+def test_uniform_distribution_averages():
+    per_topic = np.asarray([[0.0, 0.2], [1.0, 0.4]])
+    mixed = mix_edge_probabilities(per_topic, TopicDistribution.uniform(2))
+    assert np.allclose(mixed, [0.5, 0.3])
+
+
+def test_eq1_weighted_average():
+    """p^i_{u,v} = Σ_z γ^z_i p^z_{u,v} for an arbitrary γ."""
+    per_topic = np.asarray([[0.1], [0.3], [0.9]])
+    gamma = TopicDistribution([0.2, 0.3, 0.5])
+    mixed = mix_edge_probabilities(per_topic, gamma)
+    assert mixed[0] == pytest.approx(0.2 * 0.1 + 0.3 * 0.3 + 0.5 * 0.9)
+
+
+def test_node_mixing_same_formula():
+    per_topic = np.asarray([[0.2, 0.4], [0.6, 0.8]])
+    gamma = TopicDistribution([0.25, 0.75])
+    mixed = mix_node_probabilities(per_topic, gamma)
+    assert np.allclose(mixed, 0.25 * per_topic[0] + 0.75 * per_topic[1])
+
+
+def test_mixing_preserves_probability_range():
+    rng = np.random.default_rng(0)
+    per_topic = rng.random((5, 40))
+    gamma = TopicDistribution.dirichlet(5, seed=1)
+    mixed = mix_edge_probabilities(per_topic, gamma)
+    assert mixed.min() >= 0.0 and mixed.max() <= 1.0
+
+
+def test_topic_count_mismatch_raises():
+    with pytest.raises(TopicModelError):
+        mix_edge_probabilities(np.zeros((3, 4)), TopicDistribution.uniform(2))
+
+
+def test_non_matrix_raises():
+    with pytest.raises(TopicModelError):
+        mix_edge_probabilities(np.zeros(4), TopicDistribution.uniform(2))

@@ -1,0 +1,56 @@
+"""TopicModel: shape validation and Eq. (1) collapse."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopicModelError
+from repro.topics.distribution import TopicDistribution
+from repro.topics.model import TopicModel
+
+
+@pytest.fixture
+def model(diamond_graph):
+    edge_probs = np.asarray(
+        [[0.1, 0.2, 0.3, 0.4], [0.5, 0.5, 0.5, 0.5]]
+    )
+    seed_probs = np.asarray([[0.01, 0.02, 0.03, 0.04], [0.05, 0.05, 0.05, 0.05]])
+    return TopicModel(diamond_graph, edge_probs, seed_probs)
+
+
+def test_num_topics(model):
+    assert model.num_topics == 2
+
+
+def test_ad_edge_probabilities(model):
+    gamma = TopicDistribution([0.5, 0.5])
+    assert np.allclose(model.ad_edge_probabilities(gamma), [0.3, 0.35, 0.4, 0.45])
+
+
+def test_ad_ctps(model):
+    gamma = TopicDistribution.point(2, 0)
+    assert np.allclose(model.ad_ctps(gamma), [0.01, 0.02, 0.03, 0.04])
+
+
+def test_collapse_returns_both(model):
+    gamma = TopicDistribution.point(2, 1)
+    edge_probs, ctps = model.collapse(gamma)
+    assert np.allclose(edge_probs, 0.5)
+    assert np.allclose(ctps, 0.05)
+
+
+def test_memory_bytes(model):
+    assert model.memory_bytes() == model.edge_probs.nbytes + model.seed_probs.nbytes
+
+
+def test_shape_validation(diamond_graph):
+    with pytest.raises(TopicModelError):
+        TopicModel(diamond_graph, np.zeros((2, 3)), np.zeros((2, 4)))
+    with pytest.raises(TopicModelError):
+        TopicModel(diamond_graph, np.zeros((2, 4)), np.zeros((2, 5)))
+    with pytest.raises(TopicModelError):
+        TopicModel(diamond_graph, np.zeros((2, 4)), np.zeros((3, 4)))
+
+
+def test_probability_validation(diamond_graph):
+    with pytest.raises(ValueError):
+        TopicModel(diamond_graph, np.full((1, 4), 1.2), np.zeros((1, 4)))

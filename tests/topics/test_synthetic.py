@@ -1,0 +1,51 @@
+"""Synthetic topic model generator."""
+
+import numpy as np
+import pytest
+
+from repro.topics.synthetic import synthetic_topic_model
+
+
+def test_shapes(small_random_graph):
+    model = synthetic_topic_model(small_random_graph, 5, seed=1)
+    assert model.edge_probs.shape == (5, small_random_graph.num_edges)
+    assert model.seed_probs.shape == (5, small_random_graph.num_nodes)
+
+
+def test_deterministic(small_random_graph):
+    a = synthetic_topic_model(small_random_graph, 4, seed=2)
+    b = synthetic_topic_model(small_random_graph, 4, seed=2)
+    assert np.array_equal(a.edge_probs, b.edge_probs)
+    assert np.array_equal(a.seed_probs, b.seed_probs)
+
+
+def test_home_topic_sparsity(small_random_graph):
+    """Most per-topic probabilities sit at the background level; only the
+    home topics carry real strength."""
+    model = synthetic_topic_model(
+        small_random_graph, 10, home_topics_per_edge=1, background_strength=0.001, seed=3
+    )
+    at_background = np.isclose(model.edge_probs, 0.001).mean()
+    assert at_background > 0.8
+
+
+def test_zero_home_topics_all_background(small_random_graph):
+    model = synthetic_topic_model(
+        small_random_graph, 3, home_topics_per_edge=0, background_strength=0.01, seed=4
+    )
+    assert np.allclose(model.edge_probs, 0.01)
+
+
+def test_probabilities_in_range(small_random_graph):
+    model = synthetic_topic_model(
+        small_random_graph, 4, edge_strength_mean=5.0, seed=5
+    )
+    assert model.edge_probs.max() <= 1.0
+    assert model.edge_probs.min() >= 0.0
+
+
+def test_validates_args(small_random_graph):
+    with pytest.raises(ValueError):
+        synthetic_topic_model(small_random_graph, 0)
+    with pytest.raises(ValueError):
+        synthetic_topic_model(small_random_graph, 3, home_topics_per_edge=5)

@@ -1,0 +1,22 @@
+"""Timer context manager."""
+
+import time
+
+from repro.utils.timing import Timer
+
+
+def test_timer_measures_elapsed_time():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_timer_is_reusable():
+    t = Timer()
+    with t:
+        pass
+    first = t.elapsed
+    with t:
+        time.sleep(0.005)
+    assert t.elapsed >= 0.004
+    assert t.elapsed != first

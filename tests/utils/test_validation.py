@@ -1,0 +1,60 @@
+"""Argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_probability_array,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError, match="p"):
+            check_probability("p", value)
+
+
+class TestCheckProbabilityArray:
+    def test_returns_float64(self):
+        out = check_probability_array("ps", [0, 1])
+        assert out.dtype == np.float64
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="ps"):
+            check_probability_array("ps", [0.2, 1.5])
+
+    def test_empty_array_ok(self):
+        assert check_probability_array("ps", []).size == 0
+
+
+class TestCheckInRange:
+    def test_accepts_boundary(self):
+        assert check_in_range("v", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="v"):
+            check_in_range("v", 1.5, 0.0, 1.0)
