@@ -134,7 +134,7 @@ def compute_bounds(
     for ad in range(h):
         sampler = RRSetSampler(problem.graph, problem.ad_edge_probabilities(ad), seed=rngs[ad])
         collection = RRSetCollection(n)
-        collection.add_sets(sampler.sample(rr_sets_per_ad))
+        sampler.sample_into(collection, rr_sets_per_ad)
         theta = collection.num_total
         delta = problem.ad_ctps(ad)
         weight = cpes[ad] * n / theta

@@ -39,7 +39,7 @@ from repro.advertising.regret import regret_of
 from repro.algorithms.base import AllocationResult, Allocator
 from repro.algorithms.greedy import _beats
 from repro.errors import ConfigurationError
-from repro.rrset.collection import RRSetCollection
+from repro.rrset.pool import RRSetPool
 from repro.rrset.sampler import RRSetSampler
 from repro.rrset.tim import greedy_max_coverage, required_rr_sets
 from repro.utils.rng import spawn_generators
@@ -51,7 +51,7 @@ class _AdState:
     """Mutable per-advertiser bookkeeping for one TIRM run."""
 
     sampler: RRSetSampler
-    collection: RRSetCollection
+    collection: RRSetPool
     seed_size_estimate: int = 1
     revenue: float = 0.0
     seeds_in_order: list[int] = field(default_factory=list)
@@ -76,6 +76,12 @@ class TIRMAllocator(Allocator):
     select_rule:
         ``"weighted"`` (CTP-weighted coverage; default) or ``"coverage"``
         (the literal Algorithm 3).
+    sampler_mode:
+        ``"blocked"`` (default) draws RR-sets through the vectorized
+        batched sampler — RNG in blocks, members written straight into
+        the pool; ``"scalar"`` uses the original per-set Mersenne stream,
+        which stays bit-compatible with the pre-pool implementation.
+        Both are deterministic per ``seed``.
     initial_pilot:
         RR-sets sampled per ad before the first ``θ_i`` is computed.
     min_rr_sets_per_ad / max_rr_sets_per_ad:
@@ -93,6 +99,7 @@ class TIRMAllocator(Allocator):
         epsilon: float = 0.1,
         ell: float = 1.0,
         select_rule: str = "weighted",
+        sampler_mode: str = "blocked",
         initial_pilot: int = 1_000,
         min_rr_sets_per_ad: int = 500,
         max_rr_sets_per_ad: int = 200_000,
@@ -106,6 +113,10 @@ class TIRMAllocator(Allocator):
             raise ConfigurationError(
                 f"select_rule must be 'weighted' or 'coverage', got {select_rule!r}"
             )
+        if sampler_mode not in ("blocked", "scalar"):
+            raise ConfigurationError(
+                f"sampler_mode must be 'blocked' or 'scalar', got {sampler_mode!r}"
+            )
         if min_rr_sets_per_ad < 1 or max_rr_sets_per_ad < min_rr_sets_per_ad:
             raise ConfigurationError(
                 "need 1 <= min_rr_sets_per_ad <= max_rr_sets_per_ad, got "
@@ -114,6 +125,7 @@ class TIRMAllocator(Allocator):
         self.epsilon = float(epsilon)
         self.ell = float(ell)
         self.select_rule = select_rule
+        self.sampler_mode = sampler_mode
         self.initial_pilot = int(initial_pilot)
         self.min_rr_sets_per_ad = int(min_rr_sets_per_ad)
         self.max_rr_sets_per_ad = int(max_rr_sets_per_ad)
@@ -189,23 +201,31 @@ class TIRMAllocator(Allocator):
                 "rr_memory_bytes": int(sum(s.collection.memory_bytes() for s in states)),
                 "epsilon": self.epsilon,
                 "select_rule": self.select_rule,
+                "sampler_mode": self.sampler_mode,
             },
         )
 
     # ------------------------------------------------------------------
     # Initialisation and sampling
     # ------------------------------------------------------------------
+    def _sample_into(self, state: _AdState, count: int) -> None:
+        """Top up the ad's pool through the configured sampler path."""
+        if self.sampler_mode == "blocked":
+            state.sampler.sample_blocked_into(state.collection, count)
+        else:
+            state.sampler.sample_into(state.collection, count)
+
     def _initial_state(self, problem, ad: int, rng) -> _AdState:
         sampler = RRSetSampler(
             problem.graph, problem.ad_edge_probabilities(ad), seed=rng
         )
-        collection = RRSetCollection(problem.num_nodes)
+        collection = RRSetPool(problem.num_nodes)
         pilot = max(min(self.initial_pilot, self.max_rr_sets_per_ad), self.min_rr_sets_per_ad)
-        collection.add_sets(sampler.sample(pilot))
         state = _AdState(sampler=sampler, collection=collection)
+        self._sample_into(state, pilot)
         target = self._theta_for(problem, state, s=1)
         if target > state.theta:
-            collection.add_sets(sampler.sample(target - state.theta))
+            self._sample_into(state, target - state.theta)
         return state
 
     #: Greedy-cover pilot size for OPT_s estimation: the cover runs on an
@@ -214,12 +234,16 @@ class TIRMAllocator(Allocator):
     _OPT_PILOT_SETS = 2_000
 
     def _theta_for(self, problem, state: _AdState, s: int) -> int:
-        """``θ_i = L(s, ε)`` with a greedy-pilot OPT_s lower bound."""
+        """``θ_i = L(s, ε)`` with a greedy-pilot OPT_s lower bound.
+
+        The pilot is a zero-copy CSR window over the first sets of the
+        pool, so each growth event costs O(pilot), not O(θ).
+        """
         n = problem.num_nodes
         s = min(max(s, 1), n)
-        pilot = state.collection.all_sets()[: self._OPT_PILOT_SETS]
+        pilot = state.collection.prefix_view(self._OPT_PILOT_SETS)
         _, covered = greedy_max_coverage(pilot, n, s)
-        opt_lower = max(n * covered / len(pilot), float(min(s, n)), 1.0)
+        opt_lower = max(n * covered / pilot.num_sets, float(min(s, n)), 1.0)
         theta = required_rr_sets(n, s, self.epsilon, opt_lower, ell=self.ell)
         return int(min(max(theta, self.min_rr_sets_per_ad), self.max_rr_sets_per_ad))
 
@@ -240,14 +264,14 @@ class TIRMAllocator(Allocator):
         extra = target - state.theta
         if extra <= 0:
             return
-        state.collection.add_sets(state.sampler.sample(extra))
+        self._sample_into(state, extra)
         # Algorithm 4: walk existing seeds in selection order, credit each
         # with its coverage among the new (still-alive) sets, and remove
         # what it covers so later seeds are not double-credited.
+        # ``remove_covered`` returns exactly the alive-set count the old
+        # code recomputed via ``sets_containing`` — one index walk, not two.
         for node in state.seeds_in_order:
-            fresh = len(state.collection.sets_containing(node, alive_only=True))
-            state.marginal_coverage[node] += fresh
-            state.collection.remove_covered(node)
+            state.marginal_coverage[node] += state.collection.remove_covered(node)
         self._recompute_revenue(problem, ad, state, cpes)
         self._rebuild_heap(problem, ad, state)
 

@@ -4,8 +4,12 @@
   coins) for a fixed ad's Eq.-(1) probabilities;
 * :mod:`repro.rrset.rrc` — RRC-sets: RR-sets with the extra per-node CTP
   coin flips of §5.2;
+* :mod:`repro.rrset.pool` — the flat CSR storage engine: contiguous
+  int32 member buffers, a bulk-built inverted index, and vectorized
+  coverage/removal kernels (see ``docs/rrset_engine.md``);
 * :mod:`repro.rrset.collection` — a coverage index over sampled sets with
-  the lazy-deletion bookkeeping TIRM needs;
+  the lazy-deletion bookkeeping TIRM needs (now a thin alias of the
+  pool);
 * :mod:`repro.rrset.tim` — the TIM ingredients: ``L(s, ε)`` (Eq. 5), OPT
   lower-bound estimation, greedy max-cover, and a standalone TIM
   influence maximizer;
@@ -15,7 +19,8 @@
 
 from repro.rrset.collection import RRSetCollection
 from repro.rrset.estimator import RRSetSpreadOracle, estimate_spread_from_sets
-from repro.rrset.rrc import sample_rrc_set, sample_rrc_sets
+from repro.rrset.pool import CSRSetView, RRSetPool
+from repro.rrset.rrc import sample_rrc_set, sample_rrc_sets, sample_rrc_sets_into
 from repro.rrset.sampler import RRSetSampler, sample_rr_set, sample_rr_sets
 from repro.rrset.tim import (
     TIMInfluenceMaximizer,
@@ -30,7 +35,10 @@ __all__ = [
     "RRSetSampler",
     "sample_rrc_set",
     "sample_rrc_sets",
+    "sample_rrc_sets_into",
     "RRSetCollection",
+    "RRSetPool",
+    "CSRSetView",
     "estimate_spread_from_sets",
     "RRSetSpreadOracle",
     "required_rr_sets",

@@ -8,146 +8,21 @@ each node), and supports the two mutations the algorithm performs:
 * ``remove_covered`` — Algorithm 2 line 12, after a seed is chosen the
   sets it covers are removed so later coverages are *marginal*.
 
-Removal is lazy at the set level (a boolean mask) but coverage counts are
-updated eagerly, keeping ``SelectBestNode`` an O(1)-per-candidate lookup.
+Since the flat-CSR refactor the implementation lives in
+:class:`repro.rrset.pool.RRSetPool`; this class survives as the
+historical name for it.  All storage is contiguous numpy buffers (int32
+members + CSR inverted index) and all mutations are vectorized — see
+``docs/rrset_engine.md``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
-
-import numpy as np
+from repro.rrset.pool import RRSetPool
 
 
-class RRSetCollection:
-    """Mutable collection of RR-sets over ``num_nodes`` users."""
+class RRSetCollection(RRSetPool):
+    """Mutable collection of RR-sets over ``num_nodes`` users.
 
-    def __init__(self, num_nodes: int) -> None:
-        if num_nodes < 0:
-            raise ValueError("num_nodes must be >= 0")
-        self.num_nodes = int(num_nodes)
-        self._sets: list[np.ndarray] = []
-        self._alive: list[bool] = []
-        self._member_of: list[list[int]] = [[] for _ in range(num_nodes)]
-        self._coverage = np.zeros(num_nodes, dtype=np.int64)
-        self._num_alive = 0
-
-    # ------------------------------------------------------------------
-    # Mutations
-    # ------------------------------------------------------------------
-    def add_sets(self, sets: Iterable[np.ndarray]) -> Sequence[int]:
-        """Register new RR-sets; returns their ids."""
-        new_ids = []
-        member_of = self._member_of
-        coverage = self._coverage
-        for members in sets:
-            members = np.asarray(members, dtype=np.int64)
-            set_id = len(self._sets)
-            self._sets.append(members)
-            self._alive.append(True)
-            self._num_alive += 1
-            for node in members.tolist():
-                member_of[node].append(set_id)
-                coverage[node] += 1
-            new_ids.append(set_id)
-        return new_ids
-
-    def remove_covered(self, node: int) -> int:
-        """Remove every alive set containing ``node``; returns how many.
-
-        This is the "remove RR-sets that are covered" step after a seed is
-        selected: later coverage counts then measure *marginal* coverage.
-        """
-        removed = 0
-        coverage = self._coverage
-        for set_id in self._member_of[node]:
-            if self._alive[set_id]:
-                self._alive[set_id] = False
-                self._num_alive -= 1
-                for member in self._sets[set_id].tolist():
-                    coverage[member] -= 1
-                removed += 1
-        return removed
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-    @property
-    def num_total(self) -> int:
-        """Total sets ever sampled (the ``θ`` denominator)."""
-        return len(self._sets)
-
-    @property
-    def num_alive(self) -> int:
-        """Sets not yet covered by a chosen seed."""
-        return self._num_alive
-
-    def coverage(self) -> np.ndarray:
-        """Read-only view of per-node alive-set coverage counts."""
-        view = self._coverage.view()
-        view.flags.writeable = False
-        return view
-
-    def coverage_of(self, node: int) -> int:
-        """Coverage count of one node among alive sets."""
-        return int(self._coverage[node])
-
-    def coverage_of_set(self, nodes) -> int:
-        """Number of alive sets intersecting ``nodes`` (for ``F_R(S)``)."""
-        nodes = set(int(v) for v in np.asarray(nodes, dtype=np.int64).ravel())
-        hit = 0
-        seen: set[int] = set()
-        for node in nodes:
-            for set_id in self._member_of[node]:
-                if self._alive[set_id] and set_id not in seen:
-                    seen.add(set_id)
-                    hit += 1
-        return hit
-
-    def sets_containing(self, node: int, *, alive_only: bool = True) -> list[int]:
-        """Ids of sets containing ``node``."""
-        ids = self._member_of[node]
-        if not alive_only:
-            return list(ids)
-        return [i for i in ids if self._alive[i]]
-
-    def get_set(self, set_id: int) -> np.ndarray:
-        """Members of a set by id (regardless of alive status)."""
-        return self._sets[set_id]
-
-    def all_sets(self) -> list[np.ndarray]:
-        """Every sampled set, alive or covered (selection order).
-
-        TIRM's seed-size re-estimation runs a fresh greedy cover over the
-        *full* sample to lower-bound ``OPT_s``, so it needs covered sets
-        back.
-        """
-        return list(self._sets)
-
-    def is_alive(self, set_id: int) -> bool:
-        """Whether a set is still uncovered."""
-        return self._alive[set_id]
-
-    def average_set_size(self) -> float:
-        """Mean size over all sampled sets (EPT-style diagnostics)."""
-        if not self._sets:
-            return 0.0
-        return float(sum(len(s) for s in self._sets) / len(self._sets))
-
-    def memory_bytes(self) -> int:
-        """Approximate bytes held: set arrays + inverted index + coverage.
-
-        This powers the Table-4 accounting (TIRM's memory is dominated by
-        the sampled RR-sets).
-        """
-        sets_bytes = sum(s.nbytes for s in self._sets)
-        # Inverted index entries are Python ints inside lists; count 8
-        # bytes of payload per entry as a numpy-equivalent figure.
-        index_entries = sum(len(lst) for lst in self._member_of)
-        return int(sets_bytes + 8 * index_entries + self._coverage.nbytes)
-
-    def __repr__(self) -> str:
-        return (
-            f"RRSetCollection(total={self.num_total}, alive={self.num_alive}, "
-            f"n={self.num_nodes})"
-        )
+    Thin back-compat alias of :class:`~repro.rrset.pool.RRSetPool`; new
+    code should use the pool directly.
+    """

@@ -15,13 +15,24 @@ import numpy as np
 from repro.advertising.problem import AdAllocationProblem
 from repro.diffusion.spread import CachingSpreadOracle
 from repro.errors import EstimationError
-from repro.rrset.rrc import sample_rrc_sets
+from repro.rrset.pool import RRSetPool
+from repro.rrset.rrc import sample_rrc_sets_into
 from repro.rrset.sampler import sample_rr_sets
 from repro.utils.rng import as_generator, spawn_generators
 
 
-def coverage_fraction(sets: list[np.ndarray], seeds) -> float:
-    """``F_R(S)``: the fraction of ``sets`` that intersect ``seeds``."""
+def coverage_fraction(sets, seeds) -> float:
+    """``F_R(S)``: the fraction of ``sets`` that intersect ``seeds``.
+
+    ``sets`` may be a list of member arrays or an :class:`RRSetPool`; the
+    pool path counts intersections over *all* sampled sets (alive or
+    removed) with one vectorized index query, matching the list
+    semantics even for pools that have been through ``remove_covered``.
+    """
+    if isinstance(sets, RRSetPool):
+        if not sets.num_total:
+            raise EstimationError("cannot estimate coverage from zero sets")
+        return sets.coverage_of_set(seeds, alive_only=False) / sets.num_total
     if not sets:
         raise EstimationError("cannot estimate coverage from zero sets")
     seed_set = set(int(v) for v in np.asarray(seeds, dtype=np.int64).ravel())
@@ -31,7 +42,7 @@ def coverage_fraction(sets: list[np.ndarray], seeds) -> float:
     return hits / len(sets)
 
 
-def estimate_spread_from_sets(sets: list[np.ndarray], num_nodes: int, seeds) -> float:
+def estimate_spread_from_sets(sets, num_nodes: int, seeds) -> float:
     """``n · F_R(S)`` — the Proposition-1 / Lemma-2 estimator."""
     return num_nodes * coverage_fraction(sets, seeds)
 
@@ -61,16 +72,20 @@ class RRSetSpreadOracle(CachingSpreadOracle):
         self.sets_per_ad = int(sets_per_ad)
         self.use_ctps = bool(use_ctps)
         rngs = spawn_generators(as_generator(seed), problem.num_ads)
-        self._sets: list[list[np.ndarray]] = []
+        self._sets: list[RRSetPool] = []
         for ad in range(problem.num_ads):
             probs = problem.ad_edge_probabilities(ad)
+            pool = RRSetPool(problem.num_nodes)
             if use_ctps:
-                batch = sample_rrc_sets(
-                    problem.graph, probs, problem.ad_ctps(ad), self.sets_per_ad, rng=rngs[ad]
+                sample_rrc_sets_into(
+                    problem.graph, probs, problem.ad_ctps(ad), self.sets_per_ad,
+                    pool, rng=rngs[ad],
                 )
             else:
-                batch = sample_rr_sets(problem.graph, probs, self.sets_per_ad, rng=rngs[ad])
-            self._sets.append(batch)
+                pool.add_sets(
+                    sample_rr_sets(problem.graph, probs, self.sets_per_ad, rng=rngs[ad])
+                )
+            self._sets.append(pool)
 
     def _compute(self, ad: int, seeds: frozenset[int]) -> float:
         if not seeds:

@@ -1,0 +1,460 @@
+"""Flat CSR-backed storage engine for RR-sets.
+
+This module is the contiguous-layout replacement for the original
+``list[np.ndarray]`` + ``list[list[int]]`` collection: every sampled set
+lives in one growable ``int32`` members buffer addressed by an ``indptr``
+array, and the node→set inverted index is a second CSR pair built in bulk
+with ``np.argsort``/``np.bincount`` instead of per-element Python
+appends.  All hot mutations (``add_flat``, ``remove_covered``) and
+queries (``coverage_of_set``, ``sets_containing``) are numpy kernels over
+those buffers.  See ``docs/rrset_engine.md`` for the layout, the
+amortized index-rebuild policy, and the determinism contract.
+
+Index maintenance policy (amortized rebuilds):
+
+* the *main* index covers sets ``[0, _indexed_sets)`` and is rebuilt in
+  bulk only when the pending region grows past ``1/4`` of the indexed
+  members (geometric threshold, so total rebuild work is ``O(M log M)``
+  over the pool's lifetime);
+* smaller batches get a *pending mini-index* over sets
+  ``[_indexed_sets, num_total)`` — a (sorted member, set id) pair array
+  over just the pending region, queried with ``searchsorted``, so
+  ``add_*`` costs O(pending log pending) with no O(num_nodes)
+  allocations, and queries never degrade to linear scans.
+
+Every query concatenates the main slice and the mini slice; neither path
+touches Python-level per-element loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Members are node ids; int32 halves RR memory vs the old int64 arrays
+#: and comfortably addresses graphs up to 2^31 nodes.
+MEMBER_DTYPE = np.int32
+#: Set ids in the inverted index; int32 supports 2^31 sets per pool.
+SET_ID_DTYPE = np.int32
+
+#: Full index rebuild triggers when pending members exceed this fraction
+#: of the indexed members (geometric growth ⇒ amortized O(log) rebuilds).
+_REBUILD_FRACTION = 4
+#: Below this many indexed members, just rebuild the full index.
+_MIN_INDEXED_MEMBERS = 4_096
+
+
+@dataclass(frozen=True)
+class CSRSetView:
+    """A read-only CSR window over a prefix of a pool's sets.
+
+    ``indptr`` has ``num_sets + 1`` entries and indexes into ``members``.
+    Views alias the pool's buffers — they are O(1) to create and must not
+    be mutated or kept across subsequent ``add_*`` calls (a buffer grow
+    may reallocate).
+    """
+
+    indptr: np.ndarray
+    members: np.ndarray
+    num_sets: int
+
+    def get_set(self, set_id: int) -> np.ndarray:
+        return self.members[self.indptr[set_id] : self.indptr[set_id + 1]]
+
+
+def _bump_counts(counts: np.ndarray, members: np.ndarray, sign: int) -> None:
+    """``counts[members] += sign`` per occurrence, without always paying
+    an O(len(counts)) ``bincount`` scratch array: small batches go
+    through ``ufunc.at`` (O(batch)), large ones through ``bincount``."""
+    if members.size == 0:
+        return
+    n = counts.size
+    if members.size * 16 < n:
+        if sign > 0:
+            np.add.at(counts, members, 1)
+        else:
+            np.subtract.at(counts, members, 1)
+    elif sign > 0:
+        counts += np.bincount(members, minlength=n)
+    else:
+        counts -= np.bincount(members, minlength=n)
+
+
+def _gather_slices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Flat positions covering ``[starts[i], starts[i]+lengths[i])`` for
+    every ``i``, concatenated — the standard repeat/cumsum multi-slice
+    gather, no Python loop."""
+    lengths = lengths.astype(np.int64, copy=False)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    offsets = np.repeat(starts.astype(np.int64, copy=False) - (ends - lengths), lengths)
+    return offsets + np.arange(total, dtype=np.int64)
+
+
+def _build_csr_index(
+    members: np.ndarray,
+    first_set: int,
+    lengths: np.ndarray,
+    num_nodes: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bulk-build a node→set CSR index over one contiguous member region.
+
+    ``members`` is the flat member slice of sets ``first_set ..``;
+    ``lengths`` their sizes.  Returns ``(indptr, set_ids)`` where
+    ``set_ids[indptr[v]:indptr[v+1]]`` lists the sets containing ``v`` in
+    ascending set order (stable sort on node keeps per-node set order).
+    """
+    counts = np.bincount(members, minlength=num_nodes)
+    indptr = np.concatenate(([0], np.cumsum(counts, dtype=np.int64)))
+    owners = np.repeat(
+        np.arange(first_set, first_set + lengths.size, dtype=SET_ID_DTYPE),
+        lengths,
+    )
+    order = np.argsort(members, kind="stable")
+    return indptr, owners[order]
+
+
+class RRSetPool:
+    """Append-only pool of RR-sets over ``num_nodes`` users.
+
+    Public API is a superset of the old ``RRSetCollection``: TIRM's two
+    mutations (``add_sets`` / ``remove_covered``), eager per-node coverage
+    counts, and the coverage queries — plus the bulk entry point
+    ``add_flat`` (samplers write straight into the pool) and zero-copy
+    ``prefix_view`` / ``first_k_sets`` accessors for O(pilot) OPT
+    estimation.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be >= 0")
+        self.num_nodes = int(num_nodes)
+        self._members = np.empty(1_024, dtype=MEMBER_DTYPE)
+        self._members_used = 0
+        self._indptr = np.zeros(257, dtype=np.int64)
+        self._num_sets = 0
+        self._alive_mask = np.empty(256, dtype=bool)
+        self._num_alive = 0
+        self._coverage = np.zeros(num_nodes, dtype=np.int64)
+        # Main inverted index: covers sets [0, _indexed_sets).
+        self._idx_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        self._idx_sets = np.empty(0, dtype=SET_ID_DTYPE)
+        self._indexed_sets = 0
+        self._indexed_members = 0
+        # Pending mini-index over sets [_indexed_sets, _num_sets): the
+        # pending members sorted ascending, with their owning set ids in
+        # lockstep.  Queried by searchsorted — no O(num_nodes) indptr.
+        self._pend_nodes = np.empty(0, dtype=MEMBER_DTYPE)
+        self._pend_sets = np.empty(0, dtype=SET_ID_DTYPE)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_sets(self, sets: Iterable[np.ndarray]) -> Sequence[int]:
+        """Register new RR-sets; returns their ids (compat API).
+
+        Bulk path: the per-set arrays are concatenated once and appended
+        through :meth:`add_flat` — no per-element index updates.
+        """
+        arrays = [np.asarray(s).ravel() for s in sets]
+        first = self._num_sets
+        if not arrays:
+            return []
+        lengths = np.asarray([a.size for a in arrays], dtype=np.int64)
+        if sum(a.size for a in arrays):
+            flat = np.concatenate(arrays).astype(MEMBER_DTYPE, copy=False)
+        else:
+            flat = np.empty(0, dtype=MEMBER_DTYPE)
+        self.add_flat(flat, lengths)
+        return list(range(first, self._num_sets))
+
+    def add_flat(self, members: np.ndarray, lengths: np.ndarray) -> None:
+        """Append ``len(lengths)`` sets whose members are concatenated in
+        ``members``.  This is the samplers' zero-copy entry point."""
+        members = np.asarray(members).ravel().astype(MEMBER_DTYPE, copy=False)
+        lengths = np.asarray(lengths, dtype=np.int64).ravel()
+        if int(lengths.sum()) != members.size:
+            raise ValueError("lengths must sum to members.size")
+        if np.any(lengths < 0):
+            raise ValueError("set lengths must be >= 0")
+        if members.size:
+            lo, hi = int(members.min()), int(members.max())
+            if lo < 0 or hi >= self.num_nodes:
+                raise ValueError(
+                    f"members must lie in [0, {self.num_nodes - 1}], found [{lo}, {hi}]"
+                )
+        count = lengths.size
+        if count == 0:
+            return
+        self._reserve_members(self._members_used + members.size)
+        self._reserve_sets(self._num_sets + count)
+        self._members[self._members_used : self._members_used + members.size] = members
+        new_indptr = self._members_used + np.cumsum(lengths)
+        self._indptr[self._num_sets + 1 : self._num_sets + count + 1] = new_indptr
+        self._alive_mask[self._num_sets : self._num_sets + count] = True
+        self._members_used += members.size
+        self._num_sets += count
+        self._num_alive += count
+        _bump_counts(self._coverage, members, +1)
+        self._refresh_index()
+
+    def remove_covered(self, node: int) -> int:
+        """Remove every alive set containing ``node``; returns how many.
+
+        One index slice finds the candidate sets; their members are
+        gathered with a single multi-slice and coverage is decremented by
+        one ``np.bincount`` — no per-set Python loops.
+        """
+        ids = self._ids_containing(node)
+        if ids.size == 0:
+            return 0
+        ids = ids[self._alive_mask[ids]]
+        if ids.size == 0:
+            return 0
+        # A set that contains ``node`` twice (possible through the public
+        # ``add_sets``) appears twice in the index; dedup before killing.
+        ids = np.unique(ids)
+        self._alive_mask[ids] = False
+        self._num_alive -= ids.size
+        _bump_counts(self._coverage, self._gather_members(ids), -1)
+        return int(ids.size)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_total(self) -> int:
+        """Total sets ever sampled (the ``θ`` denominator)."""
+        return self._num_sets
+
+    @property
+    def num_alive(self) -> int:
+        """Sets not yet covered by a chosen seed."""
+        return self._num_alive
+
+    def coverage(self) -> np.ndarray:
+        """Read-only view of per-node alive-set coverage counts."""
+        view = self._coverage.view()
+        view.flags.writeable = False
+        return view
+
+    def coverage_of(self, node: int) -> int:
+        """Coverage count of one node among alive sets."""
+        return int(self._coverage[node])
+
+    def coverage_of_set(self, nodes, *, alive_only: bool = True) -> int:
+        """Number of alive sets intersecting ``nodes`` (for ``F_R(S)``).
+
+        Vectorized: gathers every candidate set id via index slices, then
+        dedups with one ``np.unique`` over the alive survivors (the old
+        implementation walked Python lists with a ``set``).  Pass
+        ``alive_only=False`` to count over *all* sampled sets — e.g. for
+        spread estimation after seeds have removed their covered sets.
+        """
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64).ravel())
+        if nodes.size == 0:
+            return 0
+        if nodes.size and (nodes[0] < 0 or nodes[-1] >= self.num_nodes):
+            raise IndexError("node ids out of range")
+        ids = self._ids_containing_many(nodes)
+        if ids.size == 0:
+            return 0
+        if alive_only:
+            ids = ids[self._alive_mask[ids]]
+        return int(np.unique(ids).size)
+
+    def set_ids_containing(self, node: int, *, alive_only: bool = True) -> np.ndarray:
+        """Ids of sets containing ``node`` as an array (fast path)."""
+        ids = self._ids_containing(node)
+        if alive_only and ids.size:
+            ids = ids[self._alive_mask[ids]]
+        return ids
+
+    def sets_containing(self, node: int, *, alive_only: bool = True) -> list[int]:
+        """Ids of sets containing ``node`` (compat list API)."""
+        return [int(i) for i in self.set_ids_containing(node, alive_only=alive_only)]
+
+    def get_set(self, set_id: int) -> np.ndarray:
+        """Members of a set by id (a zero-copy view into the pool)."""
+        if not 0 <= set_id < self._num_sets:
+            raise IndexError(f"set id {set_id} out of range")
+        return self._members[self._indptr[set_id] : self._indptr[set_id + 1]]
+
+    def first_k_sets(self, k: int) -> list[np.ndarray]:
+        """Views of the first ``min(k, num_total)`` sets — O(k), unlike
+        the old ``all_sets()[:k]`` which materialised every set."""
+        k = min(max(int(k), 0), self._num_sets)
+        indptr = self._indptr
+        members = self._members
+        return [members[indptr[i] : indptr[i + 1]] for i in range(k)]
+
+    def prefix_view(self, k: int | None = None) -> CSRSetView:
+        """Zero-copy CSR window over the first ``k`` sets (default: all).
+
+        This is the O(1) accessor the OPT pilot uses; consumers must not
+        hold it across later ``add_*`` calls.
+        """
+        k = self._num_sets if k is None else min(max(int(k), 0), self._num_sets)
+        end = int(self._indptr[k])
+        return CSRSetView(
+            indptr=self._indptr[: k + 1], members=self._members[:end], num_sets=k
+        )
+
+    def all_sets(self) -> list[np.ndarray]:
+        """Every sampled set, alive or covered (selection order).
+
+        TIRM's seed-size re-estimation runs a fresh greedy cover over the
+        *full* sample to lower-bound ``OPT_s``, so it needs covered sets
+        back.  Prefer :meth:`prefix_view` where a CSR window suffices.
+        """
+        return self.first_k_sets(self._num_sets)
+
+    def is_alive(self, set_id: int) -> bool:
+        """Whether a set is still uncovered."""
+        if not 0 <= set_id < self._num_sets:
+            raise IndexError(f"set id {set_id} out of range")
+        return bool(self._alive_mask[set_id])
+
+    def alive_mask(self) -> np.ndarray:
+        """Read-only alive mask over all sets."""
+        view = self._alive_mask[: self._num_sets].view()
+        view.flags.writeable = False
+        return view
+
+    def average_set_size(self) -> float:
+        """Mean size over all sampled sets (EPT-style diagnostics)."""
+        if not self._num_sets:
+            return 0.0
+        return float(self._members_used / self._num_sets)
+
+    def memory_bytes(self) -> int:
+        """Bytes of RR data actually held: the exact ``nbytes`` of the
+        used portions of the members/indptr/index/alive/coverage buffers.
+
+        Unlike the old estimate (which priced Python-list index entries
+        at 8 bytes each and ignored their real object overhead), this is
+        the honest Table-4 figure: the engine stores nothing else.
+        """
+        itemsize = self._members.itemsize
+        idx_item = self._idx_sets.itemsize
+        pending = self._members_used - self._indexed_members
+        return int(
+            self._members_used * itemsize
+            + (self._num_sets + 1) * self._indptr.itemsize
+            + self._num_sets * self._alive_mask.itemsize
+            + self._coverage.nbytes
+            + self._idx_indptr.nbytes
+            + self._indexed_members * idx_item
+            + pending * (self._pend_nodes.itemsize + self._pend_sets.itemsize)
+        )
+
+    def allocated_bytes(self) -> int:
+        """Capacity actually allocated (≥ :meth:`memory_bytes` due to the
+        growth slack of the append buffers)."""
+        return int(
+            self._members.nbytes
+            + self._indptr.nbytes
+            + self._alive_mask.nbytes
+            + self._coverage.nbytes
+            + self._idx_indptr.nbytes
+            + self._idx_sets.nbytes
+            + self._pend_nodes.nbytes
+            + self._pend_sets.nbytes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(total={self.num_total}, alive={self.num_alive}, "
+            f"n={self.num_nodes})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _reserve_members(self, needed: int) -> None:
+        if needed <= self._members.size:
+            return
+        capacity = max(self._members.size * 2, needed, 1_024)
+        grown = np.empty(capacity, dtype=MEMBER_DTYPE)
+        grown[: self._members_used] = self._members[: self._members_used]
+        self._members = grown
+
+    def _reserve_sets(self, needed: int) -> None:
+        if needed <= self._alive_mask.size:
+            return
+        capacity = max(self._alive_mask.size * 2, needed, 256)
+        alive = np.empty(capacity, dtype=bool)
+        alive[: self._num_sets] = self._alive_mask[: self._num_sets]
+        self._alive_mask = alive
+        indptr = np.zeros(capacity + 1, dtype=np.int64)
+        indptr[: self._num_sets + 1] = self._indptr[: self._num_sets + 1]
+        self._indptr = indptr
+
+    def _refresh_index(self) -> None:
+        """Amortized index maintenance after an append batch."""
+        pending_members = self._members_used - self._indexed_members
+        if pending_members == 0:
+            return
+        if (
+            self._indexed_members < _MIN_INDEXED_MEMBERS
+            or pending_members * _REBUILD_FRACTION >= self._indexed_members
+        ):
+            self._rebuild_main_index()
+        else:
+            self._rebuild_pending_index()
+
+    def _rebuild_main_index(self) -> None:
+        lengths = np.diff(self._indptr[: self._num_sets + 1])
+        self._idx_indptr, self._idx_sets = _build_csr_index(
+            self._members[: self._members_used], 0, lengths, self.num_nodes
+        )
+        self._indexed_sets = self._num_sets
+        self._indexed_members = self._members_used
+        self._pend_nodes = np.empty(0, dtype=MEMBER_DTYPE)
+        self._pend_sets = np.empty(0, dtype=SET_ID_DTYPE)
+
+    def _rebuild_pending_index(self) -> None:
+        """Sorted-pairs index over the pending region: O(pending log
+        pending) work and memory, independent of ``num_nodes``."""
+        lo = self._indexed_sets
+        lengths = np.diff(self._indptr[lo : self._num_sets + 1])
+        region = self._members[self._indexed_members : self._members_used]
+        owners = np.repeat(
+            np.arange(lo, self._num_sets, dtype=SET_ID_DTYPE), lengths
+        )
+        order = np.argsort(region, kind="stable")
+        self._pend_nodes = region[order]
+        self._pend_sets = owners[order]
+
+    def _ids_containing(self, node: int) -> np.ndarray:
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} out of range")
+        main = self._idx_sets[self._idx_indptr[node] : self._idx_indptr[node + 1]]
+        if self._indexed_sets == self._num_sets:
+            return main
+        lo, hi = np.searchsorted(self._pend_nodes, [node, node + 1])
+        mini = self._pend_sets[lo:hi]
+        if main.size == 0:
+            return mini
+        if mini.size == 0:
+            return main
+        return np.concatenate((main, mini))
+
+    def _ids_containing_many(self, nodes: np.ndarray) -> np.ndarray:
+        starts = self._idx_indptr[nodes]
+        lengths = self._idx_indptr[nodes + 1] - starts
+        parts = [self._idx_sets[_gather_slices(starts, lengths)]]
+        if self._indexed_sets != self._num_sets:
+            plos = np.searchsorted(self._pend_nodes, nodes)
+            phis = np.searchsorted(self._pend_nodes, nodes + 1)
+            parts.append(self._pend_sets[_gather_slices(plos, phis - plos)])
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def _gather_members(self, set_ids: np.ndarray) -> np.ndarray:
+        starts = self._indptr[set_ids]
+        lengths = self._indptr[np.asarray(set_ids, dtype=np.int64) + 1] - starts
+        return self._members[_gather_slices(starts, lengths)]

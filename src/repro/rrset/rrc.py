@@ -65,6 +65,18 @@ def sample_rrc_set(
     return np.asarray(sorted(members), dtype=np.int64)
 
 
+def _check_rrc_args(graph, edge_probabilities, ctps, count):
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    probs = check_probability_array("edge_probabilities", edge_probabilities)
+    delta = check_probability_array("ctps", ctps)
+    if probs.shape != (graph.num_edges,):
+        raise ValueError(f"edge_probabilities must have shape ({graph.num_edges},)")
+    if delta.shape != (graph.num_nodes,):
+        raise ValueError(f"ctps must have shape ({graph.num_nodes},)")
+    return probs, delta
+
+
 def sample_rrc_sets(
     graph: DirectedGraph,
     edge_probabilities,
@@ -74,13 +86,34 @@ def sample_rrc_sets(
     rng=None,
 ) -> list[np.ndarray]:
     """``count`` independent RRC-sets."""
-    if count < 0:
-        raise ValueError(f"count must be >= 0, got {count}")
-    probs = check_probability_array("edge_probabilities", edge_probabilities)
-    delta = check_probability_array("ctps", ctps)
-    if probs.shape != (graph.num_edges,):
-        raise ValueError(f"edge_probabilities must have shape ({graph.num_edges},)")
-    if delta.shape != (graph.num_nodes,):
-        raise ValueError(f"ctps must have shape ({graph.num_nodes},)")
+    probs, delta = _check_rrc_args(graph, edge_probabilities, ctps, count)
     rng = as_generator(rng)
     return [sample_rrc_set(graph, probs, delta, rng=rng) for _ in range(count)]
+
+
+def sample_rrc_sets_into(
+    graph: DirectedGraph,
+    edge_probabilities,
+    ctps,
+    count: int,
+    pool,
+    *,
+    rng=None,
+) -> None:
+    """``count`` independent RRC-sets appended straight into ``pool``.
+
+    Draws the same sets as :func:`sample_rrc_sets` for the same ``rng``
+    (identical stream) but accumulates members flat and registers them
+    with one bulk :meth:`~repro.rrset.pool.RRSetPool.add_flat` call — no
+    per-set list-of-arrays.  RRC-sets may be empty; empty sets still
+    count toward the pool's ``num_total`` (the ``F_Q`` denominator).
+    """
+    probs, delta = _check_rrc_args(graph, edge_probabilities, ctps, count)
+    rng = as_generator(rng)
+    flat: list[int] = []
+    lengths = np.empty(count, dtype=np.int64)
+    for i in range(count):
+        members = sample_rrc_set(graph, probs, delta, rng=rng)
+        flat.extend(members.tolist())
+        lengths[i] = members.size
+    pool.add_flat(np.asarray(flat, dtype=np.int64), lengths)

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.errors import EstimationError
 from repro.graph.digraph import DirectedGraph
-from repro.rrset.collection import RRSetCollection
+from repro.rrset.pool import CSRSetView, RRSetPool
 from repro.rrset.sampler import RRSetSampler
 from repro.utils.rng import as_generator
 
@@ -65,8 +65,25 @@ def required_rr_sets(
     return int(math.ceil(numerator / (opt_lower_bound * epsilon**2)))
 
 
+def _working_pool(sets, num_nodes: int) -> RRSetPool:
+    """A fresh, mutable pool over ``sets`` for one greedy-cover run.
+
+    ``sets`` may be a ``list[np.ndarray]`` (compat), an
+    :class:`RRSetPool`, or a :class:`CSRSetView` — pool/view inputs are
+    bulk-copied from their flat CSR buffers in O(members), never mutated.
+    """
+    pool = RRSetPool(num_nodes)
+    if isinstance(sets, RRSetPool):
+        sets = sets.prefix_view()
+    if isinstance(sets, CSRSetView):
+        pool.add_flat(sets.members, np.diff(sets.indptr))
+    else:
+        pool.add_sets(sets)
+    return pool
+
+
 def greedy_max_coverage(
-    sets: list[np.ndarray],
+    sets,
     num_nodes: int,
     k: int,
     *,
@@ -74,18 +91,20 @@ def greedy_max_coverage(
 ) -> tuple[list[int], int]:
     """Greedy Max k-Cover over RR-sets (TIM phase 2).
 
-    Returns the chosen nodes (in selection order) and the number of sets
-    they jointly cover.  ``eligible`` optionally restricts candidates to a
-    boolean mask over nodes.
+    ``sets`` may be a list of member arrays, an :class:`RRSetPool`, or a
+    :class:`CSRSetView` (e.g. from :meth:`RRSetPool.prefix_view`); the
+    input is never mutated.  Returns the chosen nodes (in selection
+    order) and the number of sets they jointly cover.  ``eligible``
+    optionally restricts candidates to a boolean mask over nodes.
     """
     if k < 0:
         raise ValueError(f"k must be >= 0, got {k}")
-    collection = RRSetCollection(num_nodes)
-    collection.add_sets(sets)
+    collection = _working_pool(sets, num_nodes)
     coverage = collection.coverage()
     mask = None
     if eligible is not None:
-        mask = np.asarray(eligible, dtype=bool)
+        # Copy: the mask is consumed destructively as seeds are chosen.
+        mask = np.array(eligible, dtype=bool, copy=True)
         if mask.shape != (num_nodes,):
             raise ValueError(f"eligible must have shape ({num_nodes},)")
     chosen: list[int] = []
@@ -112,7 +131,7 @@ def estimate_opt_lower_bound(
     s: int,
     *,
     pilot_sets: int = 2_000,
-    existing: list[np.ndarray] | None = None,
+    existing=None,
 ) -> float:
     """Pilot estimate of a lower bound on ``OPT_s`` under plain IC.
 
@@ -120,13 +139,27 @@ def estimate_opt_lower_bound(
     an estimate of the greedy set's spread, which lower-bounds the
     optimum.  The result is floored at ``s`` because any ``s`` distinct
     seeds have spread at least ``s`` under IC without CTPs.
+
+    ``existing`` may be a list of member arrays (compat) or an
+    :class:`RRSetPool`; a pool short of ``pilot_sets`` sets is topped up
+    in place (its sampler stream advances accordingly).
     """
+    n = sampler.graph.num_nodes
+    if isinstance(existing, RRSetPool):
+        pool = existing
+        if pool.num_total < pilot_sets:
+            sampler.sample_into(pool, pilot_sets - pool.num_total)
+        if not pool.num_total:
+            raise EstimationError("cannot estimate OPT from zero RR-sets")
+        view = pool.prefix_view()
+        _, covered = greedy_max_coverage(view, n, s)
+        estimate = n * covered / view.num_sets
+        return float(max(estimate, min(s, n), 1.0))
     sets = list(existing) if existing else []
     if len(sets) < pilot_sets:
         sets.extend(sampler.sample(pilot_sets - len(sets)))
     if not sets:
         raise EstimationError("cannot estimate OPT from zero RR-sets")
-    n = sampler.graph.num_nodes
     _, covered = greedy_max_coverage(sets, n, s)
     estimate = n * covered / len(sets)
     return float(max(estimate, min(s, n), 1.0))
@@ -157,10 +190,15 @@ def kpt_estimation(
     s = min(max(int(s), 1), n)
     for i in range(1, log2n):
         c_i = int(math.ceil((6.0 * ell * math.log(n) + 6.0 * math.log(log2n)) * 2.0**i))
-        kappa_sum = 0.0
-        for rr_set in sampler.sample(c_i):
-            width = float(in_degrees[rr_set].sum())
-            kappa_sum += 1.0 - (1.0 - width / m) ** s
+        pool = RRSetPool(n)
+        sampler.sample_into(pool, c_i)
+        view = pool.prefix_view()
+        lengths = np.diff(view.indptr)
+        owners = np.repeat(np.arange(c_i), lengths)
+        widths = np.bincount(
+            owners, weights=in_degrees[view.members].astype(np.float64), minlength=c_i
+        )
+        kappa_sum = float(np.sum(1.0 - (1.0 - widths / m) ** s))
         if kappa_sum / c_i > 1.0 / (2.0**i):
             return max(n * kappa_sum / (2.0 * c_i), 1.0)
     return 1.0
@@ -203,23 +241,26 @@ class TIMInfluenceMaximizer:
         self.max_rr_sets = int(max_rr_sets)
         self.pilot_sets = int(pilot_sets)
         self._sampler = RRSetSampler(graph, edge_probabilities, seed=seed)
-        self._sets: list[np.ndarray] = []
+        self._pool = RRSetPool(graph.num_nodes)
 
     def select(self, k: int) -> TIMResult:
         """Choose ``k`` seeds; returns them with the estimated spread."""
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         n = self.graph.num_nodes
-        if len(self._sets) < self.pilot_sets:
-            self._sets.extend(self._sampler.sample(self.pilot_sets - len(self._sets)))
+        pool = self._pool
+        if pool.num_total < self.pilot_sets:
+            self._sampler.sample_into(pool, self.pilot_sets - pool.num_total)
         opt_lb = estimate_opt_lower_bound(
-            self._sampler, k, pilot_sets=len(self._sets), existing=self._sets
+            self._sampler, k, pilot_sets=pool.num_total, existing=pool
         )
         theta = min(
             required_rr_sets(n, k, self.epsilon, opt_lb, ell=self.ell), self.max_rr_sets
         )
-        if len(self._sets) < theta:
-            self._sets.extend(self._sampler.sample(theta - len(self._sets)))
-        seeds, covered = greedy_max_coverage(self._sets, n, k)
-        spread = n * covered / len(self._sets)
-        return TIMResult(seeds=seeds, estimated_spread=spread, num_rr_sets=len(self._sets))
+        if pool.num_total < theta:
+            self._sampler.sample_into(pool, theta - pool.num_total)
+        seeds, covered = greedy_max_coverage(pool.prefix_view(), n, k)
+        spread = n * covered / pool.num_total
+        return TIMResult(
+            seeds=seeds, estimated_spread=spread, num_rr_sets=pool.num_total
+        )

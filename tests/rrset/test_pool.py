@@ -1,0 +1,178 @@
+"""RRSetPool: flat-CSR storage, bulk index maintenance, and views."""
+
+import numpy as np
+import pytest
+
+from repro.rrset.pool import CSRSetView, RRSetPool
+
+
+def _sets(*members):
+    return [np.asarray(m, dtype=np.int64) for m in members]
+
+
+class TestAddFlat:
+    def test_bulk_append(self):
+        pool = RRSetPool(6)
+        pool.add_flat(np.asarray([0, 1, 2, 3, 1]), np.asarray([2, 3]))
+        assert pool.num_total == 2
+        assert pool.get_set(0).tolist() == [0, 1]
+        assert pool.get_set(1).tolist() == [2, 3, 1]
+        assert pool.coverage().tolist() == [1, 2, 1, 1, 0, 0]
+
+    def test_empty_sets_are_registered(self):
+        pool = RRSetPool(4)
+        pool.add_flat(np.asarray([2]), np.asarray([0, 1, 0]))
+        assert pool.num_total == 3
+        assert pool.get_set(0).size == 0
+        assert pool.get_set(1).tolist() == [2]
+        assert pool.get_set(2).size == 0
+        assert pool.coverage_of_set([2]) == 1
+
+    def test_length_mismatch_rejected(self):
+        pool = RRSetPool(4)
+        with pytest.raises(ValueError):
+            pool.add_flat(np.asarray([0, 1]), np.asarray([3]))
+
+    def test_negative_length_rejected(self):
+        pool = RRSetPool(4)
+        with pytest.raises(ValueError):
+            pool.add_flat(np.asarray([0]), np.asarray([2, -1]))
+
+    def test_out_of_range_members_rejected(self):
+        pool = RRSetPool(4)
+        with pytest.raises(ValueError):
+            pool.add_flat(np.asarray([4]), np.asarray([1]))
+        with pytest.raises(ValueError):
+            pool.add_flat(np.asarray([-1]), np.asarray([1]))
+
+    def test_growth_across_many_batches(self):
+        """Appends far past the initial capacities keep all data intact."""
+        pool = RRSetPool(50)
+        rng = np.random.default_rng(0)
+        reference = []
+        for _ in range(40):
+            batch = [rng.choice(50, size=rng.integers(1, 6), replace=False)
+                     for _ in range(rng.integers(1, 60))]
+            pool.add_sets(batch)
+            reference.extend(batch)
+        assert pool.num_total == len(reference)
+        for i, members in enumerate(reference):
+            assert pool.get_set(i).tolist() == list(members)
+        expected = np.zeros(50, dtype=np.int64)
+        for members in reference:
+            expected[members] += 1
+        assert np.array_equal(pool.coverage(), expected)
+
+
+class TestIndexMaintenance:
+    def test_pending_mini_index_serves_queries(self):
+        """A small batch after a large one must not trigger a full
+        rebuild, yet queries must still see the new sets."""
+        pool = RRSetPool(30)
+        rng = np.random.default_rng(1)
+        big = [rng.choice(30, size=8, replace=False) for _ in range(700)]
+        pool.add_sets(big)
+        assert pool._indexed_sets == 700  # full index covers the batch
+        pool.add_sets(_sets([3, 4], [4, 5]))
+        assert pool._indexed_sets == 700  # mini-index path engaged
+        assert pool.num_total == 702
+        assert set(pool.sets_containing(4)) >= {700, 701}
+        assert pool.coverage_of(4) == int(
+            sum(4 in set(map(int, s)) for s in big)
+        ) + 2
+        # removal through the mixed main+mini index stays consistent
+        before = pool.num_alive
+        removed = pool.remove_covered(4)
+        assert pool.num_alive == before - removed
+        assert pool.coverage_of(4) == 0
+
+    def test_full_rebuild_when_pending_grows(self):
+        pool = RRSetPool(10)
+        pool.add_sets(_sets([0], [1]))
+        pool.add_sets(_sets(*[[i % 10] for i in range(100)]))
+        assert pool._indexed_sets == pool.num_total  # pending forced rebuild
+
+
+class TestViews:
+    def test_prefix_view_is_zero_copy(self):
+        pool = RRSetPool(5)
+        pool.add_sets(_sets([0, 1], [2], [3, 4]))
+        view = pool.prefix_view(2)
+        assert isinstance(view, CSRSetView)
+        assert view.num_sets == 2
+        assert view.members.base is not None  # a view, not a copy
+        assert view.get_set(0).tolist() == [0, 1]
+        assert view.get_set(1).tolist() == [2]
+
+    def test_prefix_view_defaults_to_all(self):
+        pool = RRSetPool(5)
+        pool.add_sets(_sets([0], [1], [2]))
+        assert pool.prefix_view().num_sets == 3
+
+    def test_prefix_view_clamps(self):
+        pool = RRSetPool(5)
+        pool.add_sets(_sets([0]))
+        assert pool.prefix_view(10).num_sets == 1
+        assert pool.prefix_view(-3).num_sets == 0
+
+    def test_first_k_sets(self):
+        pool = RRSetPool(5)
+        pool.add_sets(_sets([0, 1], [2], [3]))
+        first = pool.first_k_sets(2)
+        assert [s.tolist() for s in first] == [[0, 1], [2]]
+
+    def test_set_ids_containing_array(self):
+        pool = RRSetPool(5)
+        ids = pool.add_sets(_sets([0, 1], [1, 2], [2]))
+        hits = pool.set_ids_containing(1)
+        assert isinstance(hits, np.ndarray)
+        assert sorted(hits.tolist()) == [ids[0], ids[1]]
+        pool.remove_covered(0)
+        assert pool.set_ids_containing(1).tolist() == [ids[1]]
+        assert sorted(pool.set_ids_containing(1, alive_only=False).tolist()) == [
+            ids[0], ids[1],
+        ]
+
+    def test_alive_mask(self):
+        pool = RRSetPool(5)
+        pool.add_sets(_sets([0], [1], [0, 1]))
+        pool.remove_covered(0)
+        assert pool.alive_mask().tolist() == [False, True, False]
+        with pytest.raises(ValueError):
+            pool.alive_mask()[0] = True
+
+
+class TestBounds:
+    def test_get_set_range_checked(self):
+        pool = RRSetPool(3)
+        pool.add_sets(_sets([0]))
+        with pytest.raises(IndexError):
+            pool.get_set(1)
+        with pytest.raises(IndexError):
+            pool.is_alive(-1)
+
+    def test_node_range_checked(self):
+        pool = RRSetPool(3)
+        pool.add_sets(_sets([0]))
+        with pytest.raises(IndexError):
+            pool.remove_covered(3)
+        with pytest.raises(IndexError):
+            pool.coverage_of_set([5])
+
+
+class TestMemoryAccounting:
+    def test_reports_real_buffer_bytes(self):
+        pool = RRSetPool(100)
+        rng = np.random.default_rng(2)
+        pool.add_sets(
+            [rng.choice(100, size=5, replace=False) for _ in range(1_000)]
+        )
+        reported = pool.memory_bytes()
+        # int32 members + int32 index dominate: 5 members/set × 8 bytes.
+        assert reported >= 1_000 * 5 * (4 + 4)
+        assert reported <= pool.allocated_bytes()
+
+    def test_members_are_int32(self):
+        pool = RRSetPool(10)
+        pool.add_sets(_sets([1, 2]))
+        assert pool.get_set(0).dtype == np.int32
