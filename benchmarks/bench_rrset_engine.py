@@ -18,12 +18,16 @@ recorded in CHANGES.md; run standalone with
 
 from __future__ import annotations
 
+import os
 import time
+
+import numpy as np
 
 from repro.datasets.synthetic import dblp_like
 from repro.evaluation.reporting import format_table
 from repro.rrset.pool import RRSetPool
 from repro.rrset.sampler import RRSetSampler
+from repro.rrset.sharded import ShardedSamplingEngine
 from repro.rrset.tim import greedy_max_coverage
 
 #: (label, dblp-like scale) — bench-box sizes; raise on a beefier machine.
@@ -31,6 +35,10 @@ SCALES = (("dblp-1x", 0.003), ("dblp-3x", 0.01))
 THETA = 20_000
 SEEDS_TO_PICK = 50
 PILOT = 2_000
+#: Sharded-engine pilot phase: h advertisers, θ sets each.
+SHARDED_ADS = 6
+SHARDED_THETA = 4_000
+SHARDED_SCALE = 0.003
 
 
 def run_engine_cycle(graph, probs, *, mode: str, seed: int = 0) -> dict:
@@ -91,6 +99,50 @@ def _rows():
     return rows
 
 
+def run_sharded_pilot(
+    problem, *, engine: str, mode: str = "blocked", theta: int = SHARDED_THETA,
+    seed: int = 0,
+) -> tuple[float, list[tuple[int, np.ndarray, np.ndarray]]]:
+    """One TIRM-style pilot phase (θ sets for every ad) through the
+    sharded engine; returns the wall-clock and per-shard fingerprints."""
+    h = problem.num_ads
+    probs = [problem.ad_edge_probabilities(ad) for ad in range(h)]
+    with ShardedSamplingEngine(
+        problem.graph, probs, seeds=seed, mode=mode, engine=engine
+    ) as eng:
+        # Warm the worker pool so fork/startup cost is not charged to the
+        # timed pilot (the executor is created lazily on first sample).
+        eng.sample({ad: 1 for ad in range(h)})
+        t0 = time.perf_counter()
+        eng.sample({ad: theta for ad in range(h)})
+        elapsed = time.perf_counter() - t0
+        shards = []
+        for ad in range(h):
+            view = eng.shard(ad).prefix_view()
+            shards.append(
+                (eng.shard(ad).num_total, view.members.copy(), view.indptr.copy())
+            )
+    return elapsed, shards
+
+
+def _sharded_rows(theta: int = SHARDED_THETA, scale: float = SHARDED_SCALE):
+    """Serial vs process pilot phase for h advertisers; the two engines
+    must agree set-for-set (the CI smoke asserts exactly this)."""
+    problem = dblp_like(scale=scale, num_ads=SHARDED_ADS, seed=13)
+    t_serial, shards_serial = run_sharded_pilot(problem, engine="serial", theta=theta)
+    t_process, shards_process = run_sharded_pilot(problem, engine="process", theta=theta)
+    for (ns, ms, ps), (np_, mp_, pp_) in zip(shards_serial, shards_process):
+        assert ns == np_
+        assert np.array_equal(ms, mp_)
+        assert np.array_equal(ps, pp_)
+    speedup = t_serial / t_process if t_process > 0 else float("inf")
+    return [
+        ["sharded-pilot", problem.num_nodes, "serial", SHARDED_ADS, theta, t_serial, 1.0],
+        ["sharded-pilot", problem.num_nodes, "process", SHARDED_ADS, theta, t_process,
+         speedup],
+    ]
+
+
 def test_rrset_engine_cycle(run_once):
     rows = run_once(_rows)
     print()
@@ -110,6 +162,29 @@ def test_rrset_engine_cycle(run_once):
     assert all(r[7] > 0 for r in rows)
 
 
+def test_sharded_engine_smoke(run_once):
+    """Serial vs process sharded pilot must agree set-for-set.
+
+    This is the CI smoke: a sub-30-second pilot phase at reduced θ whose
+    per-shard members/indptr blocks are asserted identical inside
+    ``_sharded_rows``.  Speedup is *reported*, never asserted, here: at
+    smoke scale the workload is tens of milliseconds, so wall-clock
+    ratios measure scheduler noise, not the engine (and a single-core
+    runner cannot express a speedup at all).  The ≥2× multi-core figure
+    belongs to the full-θ standalone run on a quiet bench box.
+    """
+    rows = run_once(_sharded_rows, theta=1_000)
+    print()
+    print(
+        format_table(
+            ["phase", "n", "engine", "ads", "theta/ad", "wall (s)", "speedup"],
+            rows,
+            title=f"Sharded pilot phase: h={SHARDED_ADS} advertisers "
+                  f"({os.cpu_count() or 1} cores visible)",
+        )
+    )
+
+
 if __name__ == "__main__":
     for row in _rows():
         label, n, mode, si, cov, rem, tot, mem = row
@@ -117,4 +192,10 @@ if __name__ == "__main__":
             f"{label:10s} n={n:7d} {mode:8s} sample+index={si:7.3f}s "
             f"cover={cov:6.3f}s remove={rem:6.3f}s total={tot:7.3f}s "
             f"mem={mem:7.2f}MB"
+        )
+    for row in _sharded_rows():
+        label, n, engine, ads, theta, wall, speedup = row
+        print(
+            f"{label:13s} n={n:7d} {engine:8s} h={ads} theta={theta} "
+            f"wall={wall:7.3f}s speedup={speedup:5.2f}x"
         )

@@ -34,12 +34,29 @@ class Allocation:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_seed_sets(cls, seed_sets: Sequence[Iterable[int]], num_nodes: int) -> "Allocation":
-        """Build an allocation from explicit per-ad seed iterables."""
+    def from_seed_sets(
+        cls,
+        seed_sets: Sequence[Iterable[int]],
+        num_nodes: int,
+        *,
+        bounds: AttentionBounds | None = None,
+    ) -> "Allocation":
+        """Build an allocation from explicit per-ad seed iterables.
+
+        When ``bounds`` is given, the result is validated against the §3
+        attention constraint: a deserialized allocation in which some
+        user exceeds ``κ_u`` raises :class:`AllocationError` instead of
+        silently entering the system as an invalid assignment.
+        """
         allocation = cls(len(seed_sets), num_nodes)
         for ad, seeds in enumerate(seed_sets):
             for user in seeds:
                 allocation.assign(int(user), ad)
+        if bounds is not None and not allocation.is_valid(bounds):
+            violators = allocation.violations(bounds).tolist()
+            raise AllocationError(
+                f"allocation violates attention bounds for users {violators}"
+            )
         return allocation
 
     def assign(self, user: int, ad: int) -> None:

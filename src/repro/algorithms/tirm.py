@@ -41,9 +41,32 @@ from repro.algorithms.greedy import _beats
 from repro.errors import ConfigurationError
 from repro.rrset.pool import RRSetPool
 from repro.rrset.sampler import RRSetSampler
+from repro.rrset.sharded import ENGINE_MODES, ShardedSamplingEngine
 from repro.rrset.tim import greedy_max_coverage, required_rr_sets
 from repro.utils.rng import spawn_generators
 from repro.utils.timing import Timer
+
+
+def _select_candidate(candidates):
+    """Cross-ad argmax with an order-independent tie-break.
+
+    ``candidates`` holds one ``(drop, node, cov, ad)`` tuple per active
+    ad.  The winner must not depend on catalog order — otherwise the
+    same problem under a permuted catalog can yield a different
+    allocation and a different regret.  Pairwise ε-comparisons cannot
+    guarantee that (they are not transitive: drops can chain across the
+    band boundary), so the choice is anchored at the *global* maximum
+    drop, which is itself order-independent: every candidate within
+    1e-12 of it is considered tied, and the tie breaks on the smaller
+    node id, then the exactly larger raw drop.  Only candidates that are
+    bit-identical in both remain catalog-order dependent — the
+    irreducibly symmetric case.
+    """
+    best_drop = max(c[0] for c in candidates)
+    if best_drop <= 1e-12:
+        return None
+    in_band = [c for c in candidates if c[0] >= best_drop - 1e-12]
+    return min(in_band, key=lambda c: (c[1], -c[0]))
 
 
 @dataclass
@@ -82,6 +105,12 @@ class TIRMAllocator(Allocator):
         the pool; ``"scalar"`` uses the original per-set Mersenne stream,
         which stays bit-compatible with the pre-pool implementation.
         Both are deterministic per ``seed``.
+    engine:
+        ``"serial"`` (default) samples every ad's RR-sets in-process;
+        ``"process"`` dispatches the batched pilot and growth requests
+        across the sharded engine's fork-based process pool.  The two
+        produce identical allocations for the same seed (the per-ad
+        stream state round-trips through the workers).
     initial_pilot:
         RR-sets sampled per ad before the first ``θ_i`` is computed.
     min_rr_sets_per_ad / max_rr_sets_per_ad:
@@ -100,6 +129,7 @@ class TIRMAllocator(Allocator):
         ell: float = 1.0,
         select_rule: str = "weighted",
         sampler_mode: str = "blocked",
+        engine: str = "serial",
         initial_pilot: int = 1_000,
         min_rr_sets_per_ad: int = 500,
         max_rr_sets_per_ad: int = 200_000,
@@ -117,6 +147,10 @@ class TIRMAllocator(Allocator):
             raise ConfigurationError(
                 f"sampler_mode must be 'blocked' or 'scalar', got {sampler_mode!r}"
             )
+        if engine not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINE_MODES}, got {engine!r}"
+            )
         if min_rr_sets_per_ad < 1 or max_rr_sets_per_ad < min_rr_sets_per_ad:
             raise ConfigurationError(
                 "need 1 <= min_rr_sets_per_ad <= max_rr_sets_per_ad, got "
@@ -126,6 +160,7 @@ class TIRMAllocator(Allocator):
         self.ell = float(ell)
         self.select_rule = select_rule
         self.sampler_mode = sampler_mode
+        self.engine = engine
         self.initial_pilot = int(initial_pilot)
         self.min_rr_sets_per_ad = int(min_rr_sets_per_ad)
         self.max_rr_sets_per_ad = int(max_rr_sets_per_ad)
@@ -146,45 +181,55 @@ class TIRMAllocator(Allocator):
         allocation = Allocation(h, n)
         rngs = spawn_generators(self._seed, h)
 
-        states = [
-            self._initial_state(problem, ad, rngs[ad]) for ad in range(h)
-        ]
-        for ad in range(h):
-            self._rebuild_heap(problem, ad, states[ad])
-
-        iterations = 0
-        while True:
-            best_ad = -1
-            best_drop = 0.0
-            best_node = -1
-            best_cov = 0
+        engine = ShardedSamplingEngine(
+            problem.graph,
+            [problem.ad_edge_probabilities(ad) for ad in range(h)],
+            seeds=rngs,
+            mode=self.sampler_mode,
+            engine=self.engine,
+        )
+        try:
+            states = self._initial_states(problem, engine)
             for ad in range(h):
-                state = states[ad]
-                if not state.active:
-                    continue
-                candidate = self._best_candidate(problem, ad, state, allocation, budgets, cpes)
-                if candidate is None:
-                    continue
-                node, cov, _, drop = candidate
-                if drop > best_drop + 1e-12:
-                    best_ad, best_drop = ad, drop
-                    best_node, best_cov = node, cov
-            if best_ad < 0:
-                break
+                self._rebuild_heap(problem, ad, states[ad])
 
-            state = states[best_ad]
-            marginal = self._marginal_revenue(
-                problem, best_ad, state, best_node, best_cov, cpes
-            )
-            allocation.assign(best_node, best_ad)
-            state.seeds_in_order.append(best_node)
-            state.marginal_coverage[best_node] = best_cov
-            state.revenue += marginal
-            state.collection.remove_covered(best_node)
-            iterations += 1
+            iterations = 0
+            while True:
+                candidates = []
+                for ad in range(h):
+                    state = states[ad]
+                    if not state.active:
+                        continue
+                    candidate = self._best_candidate(
+                        problem, ad, state, allocation, budgets, cpes
+                    )
+                    if candidate is None:
+                        continue
+                    node, cov, _, drop = candidate
+                    candidates.append((drop, node, cov, ad))
+                chosen = _select_candidate(candidates) if candidates else None
+                if chosen is None:
+                    break
+                best_drop, best_node, best_cov, best_ad = chosen
 
-            if len(state.seeds_in_order) == state.seed_size_estimate:
-                self._grow_sample(problem, best_ad, state, budgets, cpes, marginal)
+                state = states[best_ad]
+                marginal = self._marginal_revenue(
+                    problem, best_ad, state, best_node, best_cov, cpes
+                )
+                allocation.assign(best_node, best_ad)
+                state.seeds_in_order.append(best_node)
+                state.marginal_coverage[best_node] = best_cov
+                state.revenue += marginal
+                state.collection.remove_covered(best_node)
+                iterations += 1
+
+                if len(state.seeds_in_order) == state.seed_size_estimate:
+                    self._grow_samples(
+                        problem, [best_ad], states, budgets, cpes,
+                        {best_ad: marginal}, engine,
+                    )
+        finally:
+            engine.close()
 
         revenues = np.asarray([s.revenue for s in states])
         return AllocationResult(
@@ -202,31 +247,40 @@ class TIRMAllocator(Allocator):
                 "epsilon": self.epsilon,
                 "select_rule": self.select_rule,
                 "sampler_mode": self.sampler_mode,
+                "engine": self.engine,
             },
         )
 
     # ------------------------------------------------------------------
     # Initialisation and sampling
     # ------------------------------------------------------------------
-    def _sample_into(self, state: _AdState, count: int) -> None:
-        """Top up the ad's pool through the configured sampler path."""
-        if self.sampler_mode == "blocked":
-            state.sampler.sample_blocked_into(state.collection, count)
-        else:
-            state.sampler.sample_into(state.collection, count)
+    def _initial_states(
+        self, problem, engine: ShardedSamplingEngine
+    ) -> list[_AdState]:
+        """Batched pilot phase over the sharded engine.
 
-    def _initial_state(self, problem, ad: int, rng) -> _AdState:
-        sampler = RRSetSampler(
-            problem.graph, problem.ad_edge_probabilities(ad), seed=rng
+        Both rounds — the fixed-size pilots and the first ``θ_i = L(1, ε)``
+        top-ups — are issued for *all* ads at once, so the process engine
+        samples every ad concurrently.  Per-ad streams see the exact same
+        draw sequence (pilot, then top-up) as the old serial per-ad loop,
+        keeping allocations bit-identical across engines.
+        """
+        h = problem.num_ads
+        states = [
+            _AdState(sampler=engine.sampler(ad), collection=engine.shard(ad))
+            for ad in range(h)
+        ]
+        pilot = max(
+            min(self.initial_pilot, self.max_rr_sets_per_ad), self.min_rr_sets_per_ad
         )
-        collection = RRSetPool(problem.num_nodes)
-        pilot = max(min(self.initial_pilot, self.max_rr_sets_per_ad), self.min_rr_sets_per_ad)
-        state = _AdState(sampler=sampler, collection=collection)
-        self._sample_into(state, pilot)
-        target = self._theta_for(problem, state, s=1)
-        if target > state.theta:
-            self._sample_into(state, target - state.theta)
-        return state
+        engine.sample({ad: pilot for ad in range(h)})
+        top_ups = {}
+        for ad in range(h):
+            target = self._theta_for(problem, states[ad], s=1)
+            if target > states[ad].theta:
+                top_ups[ad] = target - states[ad].theta
+        engine.sample(top_ups)
+        return states
 
     #: Greedy-cover pilot size for OPT_s estimation: the cover runs on an
     #: i.i.d. prefix of the sample, so a fixed-size pilot estimates the
@@ -247,33 +301,53 @@ class TIRMAllocator(Allocator):
         theta = required_rr_sets(n, s, self.epsilon, opt_lower, ell=self.ell)
         return int(min(max(theta, self.min_rr_sets_per_ad), self.max_rr_sets_per_ad))
 
-    def _grow_sample(self, problem, ad: int, state: _AdState, budgets, cpes,
-                     last_marginal: float) -> None:
-        """Algorithm 2 lines 14–19: revise ``s_i``, top up RR-sets, and
-        re-estimate existing seeds' coverage (Algorithm 4)."""
-        regret = regret_of(
-            budgets[ad], state.revenue, problem.penalty, len(state.seeds_in_order)
-        )
-        if last_marginal > 0:
-            growth = int(math.floor(regret / last_marginal))
-        else:
-            growth = 0
-        state.seed_size_estimate += max(growth, 1)
+    def _grow_samples(self, problem, ads, states, budgets, cpes,
+                      last_marginals, engine: ShardedSamplingEngine) -> None:
+        """Algorithm 2 lines 14–19: revise each listed ad's ``s_i``, top
+        up the grown ``θ_i`` through the engine in one request, then
+        re-estimate existing seeds' coverage (Algorithm 4) per ad.
 
-        target = max(self._theta_for(problem, state, state.seed_size_estimate), state.theta)
-        extra = target - state.theta
-        if extra <= 0:
+        The entry point is batch-shaped (a list of ads) but Algorithm
+        2's trigger fires for one ad per iteration — the ad whose seed
+        count just reached its estimate — so the main loop passes a
+        singleton and the engine serves it in-process.  Concurrency
+        across ads comes from the pilot phase; growing several ads at
+        once here would change *when* each ad samples and break
+        bit-compatibility with the reference trajectory."""
+        extras: dict[int, int] = {}
+        for ad in ads:
+            state = states[ad]
+            regret = regret_of(
+                budgets[ad], state.revenue, problem.penalty, len(state.seeds_in_order)
+            )
+            last_marginal = last_marginals[ad]
+            if last_marginal > 0:
+                growth = int(math.floor(regret / last_marginal))
+            else:
+                growth = 0
+            state.seed_size_estimate += max(growth, 1)
+
+            target = max(
+                self._theta_for(problem, state, state.seed_size_estimate), state.theta
+            )
+            extra = target - state.theta
+            if extra > 0:
+                extras[ad] = extra
+        if not extras:
             return
-        self._sample_into(state, extra)
-        # Algorithm 4: walk existing seeds in selection order, credit each
-        # with its coverage among the new (still-alive) sets, and remove
-        # what it covers so later seeds are not double-credited.
-        # ``remove_covered`` returns exactly the alive-set count the old
-        # code recomputed via ``sets_containing`` — one index walk, not two.
-        for node in state.seeds_in_order:
-            state.marginal_coverage[node] += state.collection.remove_covered(node)
-        self._recompute_revenue(problem, ad, state, cpes)
-        self._rebuild_heap(problem, ad, state)
+        engine.sample(extras)
+        for ad in sorted(extras):
+            state = states[ad]
+            # Algorithm 4: walk existing seeds in selection order, credit
+            # each with its coverage among the new (still-alive) sets, and
+            # remove what it covers so later seeds are not double-credited.
+            # ``remove_covered`` returns exactly the alive-set count the
+            # old code recomputed via ``sets_containing`` — one index
+            # walk, not two.
+            for node in state.seeds_in_order:
+                state.marginal_coverage[node] += state.collection.remove_covered(node)
+            self._recompute_revenue(problem, ad, state, cpes)
+            self._rebuild_heap(problem, ad, state)
 
     def _recompute_revenue(self, problem, ad: int, state: _AdState, cpes) -> None:
         """``Π_i(S_i) = Σ_v cpe·n·δ(v,i)·cov(v)/θ_i`` over chosen seeds."""

@@ -22,7 +22,8 @@ from repro.graph.stats import graph_stats
 
 _ALLOCATORS: dict[str, Callable[..., object]] = {
     "tirm": lambda args: TIRMAllocator(
-        seed=args.seed, epsilon=args.epsilon, max_rr_sets_per_ad=args.max_rr_sets
+        seed=args.seed, epsilon=args.epsilon, max_rr_sets_per_ad=args.max_rr_sets,
+        engine=getattr(args, "engine", "serial"),
     ),
     "greedy": lambda args: GreedyAllocator(num_runs=args.mc_runs, seed=args.seed),
     "myopic": lambda args: MyopicAllocator(),
@@ -57,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
     allocate.add_argument("--seed", type=int, default=0)
     allocate.add_argument("--epsilon", type=float, default=0.1)
     allocate.add_argument("--max-rr-sets", type=int, default=20_000, dest="max_rr_sets")
+    allocate.add_argument("--engine", choices=("serial", "process"), default="serial",
+                          help="RR-set sampling engine: in-process serial or the "
+                               "per-advertiser sharded process pool (TIRM only; "
+                               "both give identical allocations for a seed)")
     allocate.add_argument("--mc-runs", type=int, default=200, dest="mc_runs")
     allocate.add_argument("--alpha", type=float, default=0.8)
 

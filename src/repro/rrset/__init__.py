@@ -10,6 +10,9 @@
 * :mod:`repro.rrset.collection` — a coverage index over sampled sets with
   the lazy-deletion bookkeeping TIRM needs (now a thin alias of the
   pool);
+* :mod:`repro.rrset.sharded` — the per-advertiser sharded sampling
+  engine: one pool shard per ad, with serial or process-pool batched
+  sampling (both bit-identical for the same seed);
 * :mod:`repro.rrset.tim` — the TIM ingredients: ``L(s, ε)`` (Eq. 5), OPT
   lower-bound estimation, greedy max-cover, and a standalone TIM
   influence maximizer;
@@ -22,6 +25,7 @@ from repro.rrset.estimator import RRSetSpreadOracle, estimate_spread_from_sets
 from repro.rrset.pool import CSRSetView, RRSetPool
 from repro.rrset.rrc import sample_rrc_set, sample_rrc_sets, sample_rrc_sets_into
 from repro.rrset.sampler import RRSetSampler, sample_rr_set, sample_rr_sets
+from repro.rrset.sharded import ShardedSamplingEngine
 from repro.rrset.tim import (
     TIMInfluenceMaximizer,
     greedy_max_coverage,
@@ -39,6 +43,7 @@ __all__ = [
     "RRSetCollection",
     "RRSetPool",
     "CSRSetView",
+    "ShardedSamplingEngine",
     "estimate_spread_from_sets",
     "RRSetSpreadOracle",
     "required_rr_sets",

@@ -28,7 +28,6 @@ touches Python-level per-element loops.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -46,22 +45,69 @@ _REBUILD_FRACTION = 4
 _MIN_INDEXED_MEMBERS = 4_096
 
 
-@dataclass(frozen=True)
 class CSRSetView:
     """A read-only CSR window over a prefix of a pool's sets.
 
     ``indptr`` has ``num_sets + 1`` entries and indexes into ``members``.
-    Views alias the pool's buffers — they are O(1) to create and must not
-    be mutated or kept across subsequent ``add_*`` calls (a buffer grow
-    may reallocate).
+    Views alias the pool's buffers and are O(1) to create.  A view bound
+    to its pool is *self-healing*: the pool is append-only, so the first
+    ``num_sets`` sets never change, and when a growth-triggered
+    reallocation retires the buffer a view points at, the view
+    re-materializes itself against the live buffer on next access (the
+    pool's generation counter detects the swap).  Holding a stale view
+    therefore never silently reads — or keeps alive — a retired buffer.
+
+    Detached views (``pool=None``, e.g. after crossing a process
+    boundary) are plain frozen windows with no refresh behaviour.
     """
 
-    indptr: np.ndarray
-    members: np.ndarray
-    num_sets: int
+    __slots__ = ("_indptr", "_members", "num_sets", "_pool", "_generation")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        members: np.ndarray,
+        num_sets: int,
+        *,
+        pool: "RRSetPool | None" = None,
+    ) -> None:
+        self._indptr = indptr
+        self._members = members
+        self.num_sets = int(num_sets)
+        self._pool = pool
+        self._generation = pool.generation if pool is not None else -1
+
+    def _refresh(self) -> None:
+        pool = self._pool
+        if pool is not None and pool.generation != self._generation:
+            end = int(pool._indptr[self.num_sets])
+            self._indptr = pool._indptr[: self.num_sets + 1]
+            self._members = pool._members[:end]
+            self._generation = pool.generation
+
+    @property
+    def indptr(self) -> np.ndarray:
+        self._refresh()
+        return self._indptr
+
+    @property
+    def members(self) -> np.ndarray:
+        self._refresh()
+        return self._members
+
+    def detach(self) -> "CSRSetView":
+        """A pool-independent copy of this window (safe to pickle/ship)."""
+        self._refresh()
+        return CSRSetView(
+            self._indptr.copy(), self._members.copy(), self.num_sets
+        )
 
     def get_set(self, set_id: int) -> np.ndarray:
-        return self.members[self.indptr[set_id] : self.indptr[set_id + 1]]
+        self._refresh()
+        return self._members[self._indptr[set_id] : self._indptr[set_id + 1]]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_sets={self.num_sets})"
 
 
 def _bump_counts(counts: np.ndarray, members: np.ndarray, sign: int) -> None:
@@ -150,6 +196,14 @@ class RRSetPool:
         # lockstep.  Queried by searchsorted — no O(num_nodes) indptr.
         self._pend_nodes = np.empty(0, dtype=MEMBER_DTYPE)
         self._pend_sets = np.empty(0, dtype=SET_ID_DTYPE)
+        # Bumped whenever a growth reallocation retires a storage buffer;
+        # outstanding CSRSetViews use it to re-materialize themselves.
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Buffer generation: increments on every growth reallocation."""
+        return self._generation
 
     # ------------------------------------------------------------------
     # Mutations
@@ -286,7 +340,12 @@ class RRSetPool:
 
     def first_k_sets(self, k: int) -> list[np.ndarray]:
         """Views of the first ``min(k, num_total)`` sets — O(k), unlike
-        the old ``all_sets()[:k]`` which materialised every set."""
+        the old ``all_sets()[:k]`` which materialised every set.
+
+        The returned arrays alias the members buffer *as of this call*;
+        across later ``add_*`` calls prefer :meth:`prefix_view`, whose
+        window survives growth reallocations.
+        """
         k = min(max(int(k), 0), self._num_sets)
         indptr = self._indptr
         members = self._members
@@ -295,13 +354,15 @@ class RRSetPool:
     def prefix_view(self, k: int | None = None) -> CSRSetView:
         """Zero-copy CSR window over the first ``k`` sets (default: all).
 
-        This is the O(1) accessor the OPT pilot uses; consumers must not
-        hold it across later ``add_*`` calls.
+        This is the O(1) accessor the OPT pilot uses.  The view stays
+        valid across later ``add_*`` calls: if a growth reallocation
+        retires the underlying buffer, the view re-materializes itself
+        against the live one on next access (see :class:`CSRSetView`).
         """
         k = self._num_sets if k is None else min(max(int(k), 0), self._num_sets)
         end = int(self._indptr[k])
         return CSRSetView(
-            indptr=self._indptr[: k + 1], members=self._members[:end], num_sets=k
+            self._indptr[: k + 1], self._members[:end], k, pool=self
         )
 
     def all_sets(self) -> list[np.ndarray]:
@@ -382,6 +443,7 @@ class RRSetPool:
         grown = np.empty(capacity, dtype=MEMBER_DTYPE)
         grown[: self._members_used] = self._members[: self._members_used]
         self._members = grown
+        self._generation += 1
 
     def _reserve_sets(self, needed: int) -> None:
         if needed <= self._alive_mask.size:
@@ -393,6 +455,7 @@ class RRSetPool:
         indptr = np.zeros(capacity + 1, dtype=np.int64)
         indptr[: self._num_sets + 1] = self._indptr[: self._num_sets + 1]
         self._indptr = indptr
+        self._generation += 1
 
     def _refresh_index(self) -> None:
         """Amortized index maintenance after an append batch."""

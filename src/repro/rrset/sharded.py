@@ -1,0 +1,310 @@
+"""Per-advertiser sharded RR-set sampling engine.
+
+TIRM (Algorithms 2–4, §5.2) keeps one independent RR-set collection and
+sampler per advertiser.  :class:`ShardedSamplingEngine` makes that
+structure explicit: it owns one :class:`~repro.rrset.pool.RRSetPool`
+*shard* per advertiser and serves batched sampling requests — the
+initial pilots for all ``h`` ads, and every Algorithm-4 ``θ_i`` top-up —
+either serially in-process or concurrently across a
+``concurrent.futures`` process pool.
+
+Process mode
+------------
+
+* Workers receive the graph CSR and the per-ad probability rows **once**
+  via fork (copy-on-write shared pages): the parent registers its
+  payload in a module-level registry before creating the executor, and
+  the forked children inherit it without any pickling of the graph.
+* Each request ships only ``(ad, count, rng-state)`` to a worker and
+  gets back a packed ``(members, lengths)`` block plus the advanced
+  rng-state; the parent splices the block into the ad's shard with
+  ``RRSetPool.add_flat`` and stores the state for the ad's next request.
+* Because the per-ad stream state round-trips with every task, an ad's
+  sample stream is continuous and **bit-identical to serial execution**
+  no matter which worker serves which request, in what order requests
+  complete, or how many workers exist.  ``engine="process"`` and
+  ``engine="serial"`` therefore produce the same shards set-for-set —
+  and identical TIRM allocations — for the same seed.
+
+Serial mode is the zero-overhead fallback: it calls the per-ad samplers
+in ad order, exactly like the pre-engine ``TIRMAllocator`` did, so it
+stays bit-identical to the historical per-seed child streams.
+
+On platforms without ``fork`` the process engine degrades to serial
+execution (with a warning) rather than paying a spawn-pickle of the
+graph per worker; see ``docs/rrset_engine.md`` for the architecture.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DirectedGraph
+from repro.rrset.pool import RRSetPool
+from repro.rrset.sampler import RRSetSampler
+from repro.utils.rng import spawn_generators
+
+ENGINE_MODES = ("serial", "process")
+SAMPLER_MODES = ("scalar", "blocked")
+
+#: Engine-id allocator: payloads of concurrently live engines must not
+#: collide in the worker-side registries.
+_ENGINE_IDS = itertools.count()
+
+#: Parent-side payload registry, inherited by forked workers.  Maps
+#: engine id -> (graph, per-ad probability rows).
+_FORK_PAYLOADS: dict[int, tuple[DirectedGraph, Sequence[np.ndarray]]] = {}
+
+#: Worker-side sampler cache, keyed by (engine id, ad).  Samplers are
+#: rebuilt lazily per worker so the O(m) scalar adjacency flattening is
+#: paid at most once per (worker, ad); their stream state is overwritten
+#: by every task, so the cache seed is irrelevant.
+_WORKER_SAMPLERS: dict[tuple[int, int], RRSetSampler] = {}
+
+
+def _worker_sample(engine_id: int, ad: int, mode: str, count: int, rng_state):
+    """Run one sampling task in a worker: restore the ad's stream state,
+    draw ``count`` sets, and return the packed block plus the new state."""
+    key = (engine_id, ad)
+    sampler = _WORKER_SAMPLERS.get(key)
+    if sampler is None:
+        graph, probs_per_ad = _FORK_PAYLOADS[engine_id]
+        sampler = RRSetSampler(graph, probs_per_ad[ad], seed=0)
+        _WORKER_SAMPLERS[key] = sampler
+    sampler.set_stream_state(mode, rng_state)
+    members, lengths = sampler.sample_flat(count, mode=mode)
+    return ad, members, lengths, sampler.get_stream_state(mode)
+
+
+class ShardedSamplingEngine:
+    """One RR-set pool shard + sampler stream per advertiser.
+
+    Parameters
+    ----------
+    graph:
+        The social graph shared by every shard.
+    probs_per_ad:
+        One per-canonical-edge probability array per advertiser.
+    seeds:
+        Per-ad seeds: a sequence of ``h`` seed-likes (one per ad, e.g.
+        the ``spawn_generators`` children TIRM already derives), or a
+        single seed-like that is split into ``h`` child streams.
+    mode:
+        ``"blocked"`` (vectorized batched BFS) or ``"scalar"`` (the
+        bit-compatible Mersenne BFS) — the same knob as
+        ``TIRMAllocator(sampler_mode=...)``.
+    engine:
+        ``"serial"`` samples in-process in ad order; ``"process"``
+        dispatches requests across a fork-based process pool.  Both
+        produce identical shards for the same seeds.
+    max_workers:
+        Process-pool width (default: ``min(h, os.cpu_count())``).
+    """
+
+    def __init__(
+        self,
+        graph: DirectedGraph,
+        probs_per_ad: Sequence,
+        *,
+        seeds=None,
+        mode: str = "blocked",
+        engine: str = "serial",
+        max_workers: int | None = None,
+    ) -> None:
+        if mode not in SAMPLER_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {SAMPLER_MODES}, got {mode!r}"
+            )
+        if engine not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINE_MODES}, got {engine!r}"
+            )
+        probs_per_ad = list(probs_per_ad)
+        if not probs_per_ad:
+            raise ConfigurationError("need at least one advertiser")
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        self.graph = graph
+        self.mode = mode
+        self.engine = engine
+        h = len(probs_per_ad)
+        if isinstance(seeds, (list, tuple)):
+            if len(seeds) != h:
+                raise ConfigurationError(
+                    f"got {len(seeds)} per-ad seeds for {h} advertisers"
+                )
+            per_ad_seeds = list(seeds)
+        else:
+            per_ad_seeds = spawn_generators(seeds, h)
+        self._samplers = [
+            RRSetSampler(graph, probs_per_ad[ad], seed=per_ad_seeds[ad])
+            for ad in range(h)
+        ]
+        self._shards = [RRSetPool(graph.num_nodes) for _ in range(h)]
+        self._max_workers = max_workers
+        self._engine_id = next(_ENGINE_IDS)
+        self._executor: ProcessPoolExecutor | None = None
+        self._payload_registered = False
+        self._warned_no_fork = False
+        if engine == "process":
+            _FORK_PAYLOADS[self._engine_id] = (graph, probs_per_ad)
+            self._payload_registered = True
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_ads(self) -> int:
+        """Number of shards ``h``."""
+        return len(self._shards)
+
+    def shard(self, ad: int) -> RRSetPool:
+        """The advertiser's RR-set pool shard."""
+        return self._shards[ad]
+
+    def sampler(self, ad: int) -> RRSetSampler:
+        """The advertiser's sampler (the parent-side stream owner)."""
+        return self._samplers[ad]
+
+    def total_sets(self) -> int:
+        """Σ over shards of sets ever sampled."""
+        return int(sum(s.num_total for s in self._shards))
+
+    def memory_bytes(self) -> int:
+        """Σ over shards of bytes held (the Table-4 figure)."""
+        return int(sum(s.memory_bytes() for s in self._shards))
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, requests: Mapping[int, int]) -> None:
+        """Top up shards: draw ``requests[ad]`` extra sets into each
+        listed ad's shard.
+
+        This is the engine's single entry point — TIRM routes both the
+        initial pilot phase (all ads at once) and every Algorithm-4
+        growth top-up through it.  Requests for distinct ads are
+        independent streams, so process mode runs them concurrently;
+        results are spliced in ascending ad order either way.
+
+        A single ad's stream is strictly sequential, so a one-ad request
+        has no parallelism to exploit: process mode serves it in-process
+        rather than paying a worker round-trip.  Mixing the two paths is
+        safe — the parent-side sampler is the stream's source of truth
+        (worker tasks round-trip its state), so results stay
+        bit-identical either way.
+        """
+        cleaned: dict[int, int] = {}
+        for ad, count in requests.items():
+            ad, count = int(ad), int(count)
+            if not 0 <= ad < self.num_ads:
+                raise ConfigurationError(f"ad {ad} out of range [0, {self.num_ads})")
+            if count < 0:
+                raise ConfigurationError(f"count must be >= 0, got {count} for ad {ad}")
+            if count:
+                cleaned[ad] = count
+        if not cleaned:
+            return
+        if self.engine == "process" and len(cleaned) > 1:
+            if self._fork_available():
+                self._sample_process(cleaned)
+                return
+            if not self._warned_no_fork:  # pragma: no cover - non-fork only
+                self._warned_no_fork = True
+                _warn_no_fork()
+        self._sample_serial(cleaned)
+
+    def _sample_serial(self, requests: dict[int, int]) -> None:
+        for ad in sorted(requests):
+            sampler, shard, count = self._samplers[ad], self._shards[ad], requests[ad]
+            if self.mode == "blocked":
+                sampler.sample_blocked_into(shard, count)
+            else:
+                sampler.sample_into(shard, count)
+
+    def _sample_process(self, requests: dict[int, int]) -> None:
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(
+                _worker_sample,
+                self._engine_id,
+                ad,
+                self.mode,
+                requests[ad],
+                self._samplers[ad].get_stream_state(self.mode),
+            )
+            for ad in sorted(requests)
+        ]
+        blocks: dict[int, tuple] = {}
+        for future in futures:
+            ad, members, lengths, new_state = future.result()
+            blocks[ad] = (members, lengths, new_state)
+        # Deterministic splice order (ascending ad), independent of which
+        # worker finished first.
+        for ad in sorted(blocks):
+            members, lengths, new_state = blocks[ad]
+            self._shards[ad].add_flat(members, lengths)
+            self._samplers[ad].set_stream_state(self.mode, new_state)
+            self._samplers[ad].num_sampled += requests[ad]
+
+    # ------------------------------------------------------------------
+    # Process-pool plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            workers = self._max_workers
+            if workers is None:
+                workers = max(1, min(self.num_ads, os.cpu_count() or 1))
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool and release the fork payload."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._payload_registered:
+            _FORK_PAYLOADS.pop(self._engine_id, None)
+            self._payload_registered = False
+
+    def __enter__(self) -> "ShardedSamplingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(h={self.num_ads}, mode={self.mode!r}, "
+            f"engine={self.engine!r}, total_sets={self.total_sets()})"
+        )
+
+
+def _warn_no_fork() -> None:  # pragma: no cover - non-fork platforms only
+    warnings.warn(
+        "fork start method unavailable; ShardedSamplingEngine(engine='process') "
+        "will sample serially",
+        RuntimeWarning,
+        stacklevel=3,
+    )

@@ -48,6 +48,29 @@ def test_from_seed_sets():
     assert alloc.targeted_users() == {0, 1, 2}
 
 
+def test_from_seed_sets_validates_attention_bounds():
+    """§3: a deserialized allocation must respect κ_u when bounds are
+    provided — user 0 appears in two seed sets but κ=1."""
+    with pytest.raises(AllocationError, match="attention bounds.*0"):
+        Allocation.from_seed_sets(
+            [[0, 1], [0]], num_nodes=3, bounds=AttentionBounds.uniform(3, 1)
+        )
+
+
+def test_from_seed_sets_accepts_valid_allocation_with_bounds():
+    alloc = Allocation.from_seed_sets(
+        [[0, 1], [0]], num_nodes=3, bounds=AttentionBounds.uniform(3, 2)
+    )
+    assert alloc.seed_counts().tolist() == [2, 1]
+    assert alloc.is_valid(AttentionBounds.uniform(3, 2))
+
+
+def test_from_seed_sets_without_bounds_stays_permissive():
+    # compat: no bounds, no validation — the historical behaviour
+    alloc = Allocation.from_seed_sets([[0], [0], [0]], num_nodes=1)
+    assert alloc.user_assignment_counts()[0] == 3
+
+
 def test_seed_array_sorted():
     alloc = Allocation.from_seed_sets([[3, 0, 2]], num_nodes=4)
     assert alloc.seed_array(0).tolist() == [0, 2, 3]

@@ -10,6 +10,7 @@ from repro.advertising.problem import AdAllocationProblem
 from repro.algorithms.tirm import TIRMAllocator
 from repro.datasets.toy import figure1_problem
 from repro.errors import ConfigurationError
+from repro.graph.digraph import DirectedGraph
 from repro.evaluation.evaluator import RegretEvaluator
 from repro.graph.generators import erdos_renyi, star_graph
 from repro.graph.probabilities import constant_probabilities
@@ -123,6 +124,88 @@ class TestBudgetTracking:
         result = tirm().allocate(problem)
         assert 0 not in result.allocation.seeds(0)
         assert result.estimated_regret().total < 1.0
+
+
+class TestTieBreaking:
+    """Near-ties in the cross-ad argmax must not resolve by catalog order."""
+
+    @staticmethod
+    def _two_ad_problem(ctps_rows):
+        """Two mutually-linked users with p=1: every RR-set is {0, 1}, so
+        coverage is θ for both nodes and all marginals are exact — the
+        only noise left is the crafted sub-1e-12 gap in the CTPs."""
+        graph = DirectedGraph(2, [0, 1], [1, 0])
+        catalog = AdCatalog(
+            [Advertiser(name=name, budget=100.0, cpe=1.0) for name, _ in ctps_rows]
+        )
+        return AdAllocationProblem(
+            graph,
+            catalog,
+            np.ones((2, 2)),
+            np.asarray([row for _, row in ctps_rows]),
+            AttentionBounds.uniform(2, 1),
+        )
+
+    def test_near_tie_is_permutation_invariant(self):
+        """Ads A and B both want node 0 with drops 4e-13 apart — inside
+        the float-noise band the old rule resolved by scan order, so
+        permuting the catalog changed the allocation and the regret.
+        The (drop, node, raw-drop) cascade must give ad A (whose raw
+        drop is exactly larger) node 0 under either catalog order."""
+        a = ("A", [1.0, 0.9])
+        b = ("B", [1.0 - 2e-13, 0.3])
+        kwargs = dict(
+            seed=0, initial_pilot=100, min_rr_sets_per_ad=100,
+            max_rr_sets_per_ad=500, epsilon=0.3,
+        )
+        first = TIRMAllocator(**kwargs).allocate(self._two_ad_problem([a, b]))
+        second = TIRMAllocator(**kwargs).allocate(self._two_ad_problem([b, a]))
+        # map positions back to advertiser identity: A is 0 then 1
+        assert first.allocation.seeds(0) == second.allocation.seeds(1)
+        assert first.allocation.seeds(1) == second.allocation.seeds(0)
+        assert first.estimated_revenues[0] == second.estimated_revenues[1]
+        assert first.estimated_revenues[1] == second.estimated_revenues[0]
+        # the exactly-larger raw drop wins the contested node either way
+        assert 0 in first.allocation.seeds(0)
+        assert 0 in second.allocation.seeds(1)
+        assert first.estimated_regret().total == second.estimated_regret().total
+
+    def test_selection_is_scan_order_independent(self):
+        """Pairwise ε-comparisons are not transitive: drops can chain
+        across the 1e-12 band (a≈b, b≈c, a<c).  The anchored-max rule
+        must pick the same candidate under every scan permutation."""
+        import itertools
+
+        from repro.algorithms.tirm import _select_candidate
+
+        chain = [
+            (1.0, 0, 10, 0),
+            (1.0 + 8e-13, 5, 10, 1),
+            (1.0 + 1.6e-12, 9, 10, 2),
+        ]
+        picks = {
+            _select_candidate(list(perm))[1]
+            for perm in itertools.permutations(chain)
+        }
+        assert len(picks) == 1
+
+    def test_distinct_node_ties_prefer_smaller_node(self):
+        """When tied candidates propose different nodes, the smaller node
+        id wins regardless of which ad scanned first."""
+        a = ("A", [0.8, 1.0])
+        b = ("B", [1.0, 0.8])
+        kwargs = dict(
+            seed=0, initial_pilot=100, min_rr_sets_per_ad=100,
+            max_rr_sets_per_ad=500, epsilon=0.3,
+        )
+        # A's best is node 1, B's best is node 0, scores exactly equal:
+        # node 0 must be assigned first under both catalog orders.
+        first = TIRMAllocator(**kwargs).allocate(self._two_ad_problem([a, b]))
+        second = TIRMAllocator(**kwargs).allocate(self._two_ad_problem([b, a]))
+        assert first.allocation.seeds(1) == {0}
+        assert second.allocation.seeds(0) == {0}
+        assert first.allocation.seeds(0) == {1}
+        assert second.allocation.seeds(1) == {1}
 
 
 class TestPenalty:

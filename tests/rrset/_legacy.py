@@ -155,13 +155,89 @@ def legacy_greedy_max_coverage(
 class LegacyTIRMAllocator(TIRMAllocator):
     """TIRM wired to the seed collection, sampler path, and greedy.
 
-    Only the three methods that touched the storage engine are
-    overridden, each with its original (pre-pool) body; the allocation
-    loop itself is shared, so any engine-level divergence shows up as a
-    different allocation.
+    The methods that touched the storage engine are overridden with
+    their original (pre-pool) bodies, and ``_allocate`` itself is the
+    frozen pre-sharding loop — per-ad serial initialisation, the
+    scan-order ``drop > best + 1e-12`` argmax, and single-ad growth —
+    so any engine- or loop-level divergence shows up as a different
+    allocation.
     """
 
     name = "TIRM-legacy"
+
+    def _allocate(self, problem):
+        import math
+
+        from repro.advertising.allocation import Allocation
+        from repro.algorithms.base import AllocationResult
+        from repro.utils.rng import spawn_generators
+
+        h, n = problem.num_ads, problem.num_nodes
+        budgets = problem.catalog.budgets()
+        cpes = problem.catalog.cpes()
+        allocation = Allocation(h, n)
+        rngs = spawn_generators(self._seed, h)
+
+        states = [self._initial_state(problem, ad, rngs[ad]) for ad in range(h)]
+        for ad in range(h):
+            self._rebuild_heap(problem, ad, states[ad])
+
+        iterations = 0
+        while True:
+            best_ad = -1
+            best_drop = 0.0
+            best_node = -1
+            best_cov = 0
+            for ad in range(h):
+                state = states[ad]
+                if not state.active:
+                    continue
+                candidate = self._best_candidate(
+                    problem, ad, state, allocation, budgets, cpes
+                )
+                if candidate is None:
+                    continue
+                node, cov, _, drop = candidate
+                if drop > best_drop + 1e-12:
+                    best_ad, best_drop = ad, drop
+                    best_node, best_cov = node, cov
+            if best_ad < 0:
+                break
+
+            state = states[best_ad]
+            marginal = self._marginal_revenue(
+                problem, best_ad, state, best_node, best_cov, cpes
+            )
+            allocation.assign(best_node, best_ad)
+            state.seeds_in_order.append(best_node)
+            state.marginal_coverage[best_node] = best_cov
+            state.revenue += marginal
+            state.collection.remove_covered(best_node)
+            iterations += 1
+
+            if len(state.seeds_in_order) == state.seed_size_estimate:
+                self._grow_sample(problem, best_ad, state, budgets, cpes, marginal)
+
+        revenues = np.asarray([s.revenue for s in states])
+        return AllocationResult(
+            algorithm=self.name,
+            allocation=allocation,
+            estimated_revenues=revenues,
+            budgets=budgets,
+            penalty=problem.penalty,
+            stats={
+                "iterations": iterations,
+                "theta_per_ad": [s.theta for s in states],
+                "seed_size_estimates": [s.seed_size_estimate for s in states],
+                "total_rr_sets": int(sum(s.theta for s in states)),
+                "rr_memory_bytes": int(
+                    sum(s.collection.memory_bytes() for s in states)
+                ),
+                "epsilon": self.epsilon,
+                "select_rule": self.select_rule,
+                "sampler_mode": self.sampler_mode,
+            },
+        )
 
     def _initial_state(self, problem, ad: int, rng) -> _AdState:
         sampler = RRSetSampler(

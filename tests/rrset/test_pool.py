@@ -142,6 +142,64 @@ class TestViews:
             pool.alive_mask()[0] = True
 
 
+class TestViewGenerations:
+    def test_generation_bumps_on_reallocation(self):
+        pool = RRSetPool(50)
+        pool.add_sets(_sets([0, 1]))
+        start = pool.generation
+        # small append: fits in the initial capacity, no retirement
+        pool.add_sets(_sets([2]))
+        assert pool.generation == start
+        # blow past the member-buffer capacity: generation must move
+        big = [np.arange(50, dtype=np.int64) for _ in range(60)]
+        pool.add_sets(big)
+        assert pool.generation > start
+
+    def test_prefix_view_survives_growth_reallocation(self):
+        """Regression: a view held across a growth-triggered reallocation
+        used to keep pointing at the retired buffer.  It must now
+        re-materialize against the live one with identical contents."""
+        pool = RRSetPool(50)
+        pool.add_sets(_sets([0, 1], [2, 3, 4]))
+        view = pool.prefix_view(2)
+        before = [view.get_set(i).tolist() for i in range(2)]
+        old_members = pool._members
+        big = [np.arange(50, dtype=np.int64) for _ in range(200)]
+        pool.add_sets(big)
+        assert pool._members is not old_members  # reallocation happened
+        # contents unchanged, but served from the live buffer
+        assert [view.get_set(i).tolist() for i in range(2)] == before
+        assert np.shares_memory(view.members, pool._members)
+        assert view.indptr.tolist() == pool._indptr[:3].tolist()
+
+    def test_view_grows_pool_mid_theta_pilot(self):
+        """The `_theta_for` pattern: greedy-cover an OPT pilot window
+        while top-up sampling grows the pool underneath it."""
+        from repro.rrset.tim import greedy_max_coverage
+
+        pool = RRSetPool(30)
+        rng = np.random.default_rng(8)
+        pool.add_sets(
+            [rng.choice(30, size=4, replace=False) for _ in range(50)]
+        )
+        pilot = pool.prefix_view(50)
+        expected = greedy_max_coverage(pilot, 30, 3)
+        # grow well past capacity, as a θ top-up would
+        pool.add_sets([rng.choice(30, size=6, replace=False) for _ in range(800)])
+        # the held view still answers over exactly the first 50 sets
+        assert greedy_max_coverage(pilot, 30, 3) == expected
+        assert pilot.num_sets == 50
+
+    def test_detached_view_is_frozen(self):
+        pool = RRSetPool(10)
+        pool.add_sets(_sets([0, 1], [2]))
+        detached = pool.prefix_view().detach()
+        pool.add_sets([np.arange(10, dtype=np.int64) for _ in range(300)])
+        assert detached.num_sets == 2
+        assert detached.get_set(0).tolist() == [0, 1]
+        assert not np.shares_memory(detached.members, pool._members)
+
+
 class TestBounds:
     def test_get_set_range_checked(self):
         pool = RRSetPool(3)

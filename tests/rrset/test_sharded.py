@@ -1,0 +1,207 @@
+"""ShardedSamplingEngine: per-ad shards, serial/process parity.
+
+The engine's contract is that ``engine="process"`` is a pure wall-clock
+optimisation: for the same seeds it must fill every shard with exactly
+the same sets, in the same order, as ``engine="serial"`` — which in turn
+is bit-identical to the historical per-ad sampler loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.attention import AttentionBounds
+from repro.advertising.catalog import AdCatalog
+from repro.advertising.problem import AdAllocationProblem
+from repro.algorithms.tirm import TIRMAllocator
+from repro.errors import ConfigurationError
+from repro.graph.generators import erdos_renyi
+from repro.graph.probabilities import constant_probabilities
+from repro.rrset.pool import RRSetPool
+from repro.rrset.sampler import RRSetSampler
+from repro.rrset.sharded import ShardedSamplingEngine
+from repro.utils.rng import spawn_generators
+
+
+def _problem(seed: int, num_ads: int = 3, budget: float = 6.0):
+    graph = erdos_renyi(60, 0.05, seed=seed)
+    catalog = AdCatalog(
+        [Advertiser(name=f"a{i}", budget=budget, cpe=1.0) for i in range(num_ads)]
+    )
+    return AdAllocationProblem(
+        graph,
+        catalog,
+        constant_probabilities(graph, 0.08),
+        0.4,
+        AttentionBounds.uniform(graph.num_nodes, num_ads),
+    )
+
+
+def _probs(problem):
+    return [problem.ad_edge_probabilities(ad) for ad in range(problem.num_ads)]
+
+
+def _assert_shards_equal(a: ShardedSamplingEngine, b: ShardedSamplingEngine):
+    assert a.num_ads == b.num_ads
+    for ad in range(a.num_ads):
+        pa, pb = a.shard(ad), b.shard(ad)
+        assert pa.num_total == pb.num_total
+        assert pa.num_alive == pb.num_alive
+        assert np.array_equal(pa.coverage(), pb.coverage())
+        assert np.array_equal(pa.alive_mask(), pb.alive_mask())
+        for i in range(pa.num_total):
+            assert np.array_equal(pa.get_set(i), pb.get_set(i))
+
+
+class TestConfiguration:
+    def test_rejects_bad_engine(self):
+        problem = _problem(0)
+        with pytest.raises(ConfigurationError):
+            ShardedSamplingEngine(problem.graph, _probs(problem), engine="threads")
+
+    def test_rejects_bad_mode(self):
+        problem = _problem(0)
+        with pytest.raises(ConfigurationError):
+            ShardedSamplingEngine(problem.graph, _probs(problem), mode="vector")
+
+    def test_rejects_empty_catalog(self):
+        problem = _problem(0)
+        with pytest.raises(ConfigurationError):
+            ShardedSamplingEngine(problem.graph, [])
+
+    def test_rejects_seed_count_mismatch(self):
+        problem = _problem(0)
+        with pytest.raises(ConfigurationError):
+            ShardedSamplingEngine(problem.graph, _probs(problem), seeds=[1, 2])
+
+    def test_rejects_bad_requests(self):
+        problem = _problem(0)
+        with ShardedSamplingEngine(problem.graph, _probs(problem), seeds=0) as eng:
+            with pytest.raises(ConfigurationError):
+                eng.sample({7: 10})
+            with pytest.raises(ConfigurationError):
+                eng.sample({0: -1})
+
+    def test_close_is_idempotent(self):
+        problem = _problem(0)
+        eng = ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=0, engine="process"
+        )
+        eng.sample({0: 20})
+        eng.close()
+        eng.close()
+
+
+class TestSerialCompatibility:
+    @pytest.mark.parametrize("mode", ["scalar", "blocked"])
+    def test_serial_engine_matches_plain_samplers(self, mode):
+        """The serial engine is the historical per-ad loop, bit-exact."""
+        problem = _problem(1)
+        h = problem.num_ads
+        rngs = spawn_generators(5, h)
+        pools = []
+        for ad in range(h):
+            sampler = RRSetSampler(
+                problem.graph, problem.ad_edge_probabilities(ad), seed=rngs[ad]
+            )
+            pool = RRSetPool(problem.num_nodes)
+            if mode == "blocked":
+                sampler.sample_blocked_into(pool, 150)
+                sampler.sample_blocked_into(pool, 70)
+            else:
+                sampler.sample_into(pool, 150)
+                sampler.sample_into(pool, 70)
+            pools.append(pool)
+
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=5, mode=mode, engine="serial"
+        ) as eng:
+            eng.sample({ad: 150 for ad in range(h)})
+            eng.sample({ad: 70 for ad in range(h)})
+            for ad in range(h):
+                assert eng.shard(ad).num_total == pools[ad].num_total
+                for i in range(pools[ad].num_total):
+                    assert np.array_equal(
+                        eng.shard(ad).get_set(i), pools[ad].get_set(i)
+                    )
+
+
+class TestProcessParity:
+    @pytest.mark.parametrize("mode", ["scalar", "blocked"])
+    def test_process_matches_serial_set_for_set(self, mode):
+        problem = _problem(2)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=9, mode=mode, engine="serial"
+        ) as serial, ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=9, mode=mode, engine="process"
+        ) as process:
+            for requests in ({0: 120, 1: 80, 2: 40}, {1: 30}, {0: 5, 2: 200}):
+                serial.sample(requests)
+                process.sample(requests)
+            _assert_shards_equal(serial, process)
+
+    @pytest.mark.parametrize("mode", ["scalar", "blocked"])
+    def test_interleaved_splice_and_removal_parity(self, mode):
+        """Property-style schedule: interleaved shard appends and
+        ``remove_covered`` must march in lockstep with the serial engine
+        set-for-set, including across pool growth reallocations."""
+        problem = _problem(3)
+        rng = np.random.default_rng(17)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=23, mode=mode, engine="serial"
+        ) as serial, ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=23, mode=mode, engine="process"
+        ) as process:
+            for _ in range(6):
+                ads = rng.choice(3, size=int(rng.integers(1, 4)), replace=False)
+                requests = {int(ad): int(rng.integers(1, 120)) for ad in ads}
+                serial.sample(requests)
+                process.sample(requests)
+                for _ in range(int(rng.integers(0, 3))):
+                    ad = int(rng.integers(0, 3))
+                    node = int(rng.integers(0, problem.num_nodes))
+                    assert serial.shard(ad).remove_covered(node) == process.shard(
+                        ad
+                    ).remove_covered(node)
+                _assert_shards_equal(serial, process)
+
+    def test_max_workers_does_not_change_results(self):
+        problem = _problem(4)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=3, engine="process", max_workers=1
+        ) as one, ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=3, engine="process", max_workers=2
+        ) as two:
+            for requests in ({0: 90, 1: 90, 2: 90}, {0: 30, 2: 10}):
+                one.sample(requests)
+                two.sample(requests)
+            _assert_shards_equal(one, two)
+
+
+class TestTIRMIntegration:
+    @pytest.mark.parametrize("mode", ["scalar", "blocked"])
+    def test_tirm_process_engine_identical_to_serial(self, mode):
+        """The acceptance contract: ``engine="process"`` yields the same
+        allocation, revenues, and θ trajectory as ``engine="serial"``."""
+        problem = _problem(6, num_ads=2)
+        kwargs = dict(
+            seed=6, initial_pilot=400, max_rr_sets_per_ad=3_000, epsilon=0.2,
+            sampler_mode=mode,
+        )
+        serial = TIRMAllocator(engine="serial", **kwargs).allocate(problem)
+        process = TIRMAllocator(engine="process", **kwargs).allocate(problem)
+        assert serial.allocation == process.allocation
+        assert np.array_equal(serial.estimated_revenues, process.estimated_revenues)
+        assert serial.stats["theta_per_ad"] == process.stats["theta_per_ad"]
+        assert (
+            serial.stats["seed_size_estimates"]
+            == process.stats["seed_size_estimates"]
+        )
+        assert serial.stats["engine"] == "serial"
+        assert process.stats["engine"] == "process"
+
+    def test_tirm_rejects_bad_engine(self):
+        with pytest.raises(ConfigurationError):
+            TIRMAllocator(engine="threads")
