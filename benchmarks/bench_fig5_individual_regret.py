@@ -36,10 +36,10 @@ def test_fig5_individual_budget_regrets(run_once, dataset):
         evaluator = RegretEvaluator(problem, num_runs=EVAL_RUNS, seed=103)
         reports = {}
         for name, allocator in (
-            # scalar sampler: quality assertions calibrated on the
-            # reference stream (see benchmarks/conftest.py)
+            # scalar sampler on the legacy streams: quality assertions
+            # calibrated on the reference stream (see benchmarks/conftest.py)
             ("TIRM", TIRMAllocator(seed=0, max_rr_sets_per_ad=MAX_RR_SETS,
-                                   sampler_mode="scalar")),
+                                   sampler_mode="scalar", rng="legacy")),
             ("IRIE", GreedyIRIEAllocator(alpha=0.8)),
         ):
             result = allocator.allocate(problem)

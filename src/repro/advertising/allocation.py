@@ -19,7 +19,7 @@ from repro.errors import AllocationError
 class Allocation:
     """A mutable assignment of seed sets to ``h`` ads over ``n`` users."""
 
-    __slots__ = ("num_nodes", "_seed_sets", "_user_counts")
+    __slots__ = ("num_nodes", "_seed_sets", "_user_counts", "_provenance")
 
     def __init__(self, num_ads: int, num_nodes: int) -> None:
         if num_ads < 1:
@@ -29,6 +29,7 @@ class Allocation:
         self.num_nodes = int(num_nodes)
         self._seed_sets: list[set[int]] = [set() for _ in range(num_ads)]
         self._user_counts = np.zeros(num_nodes, dtype=np.int64)
+        self._provenance: dict | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -82,6 +83,27 @@ class Allocation:
             raise AllocationError(f"user {user} is not a seed for ad {ad}")
         seeds.remove(user)
         self._user_counts[user] -= 1
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+    def set_provenance(self, **info) -> None:
+        """Record how this allocation was produced.
+
+        Allocators attach their reproducibility contract here — e.g.
+        TIRM records the RNG architecture (``rng``, ``chunk_size``,
+        ``stream_entropy``) so the exact RR samples behind the seed sets
+        can be re-derived later.  Repeated calls merge keys.  Provenance
+        is metadata: it does not participate in equality.
+        """
+        if self._provenance is None:
+            self._provenance = {}
+        self._provenance.update(info)
+
+    @property
+    def provenance(self) -> dict | None:
+        """The recorded production metadata, or ``None``."""
+        return self._provenance
 
     # ------------------------------------------------------------------
     # Queries
@@ -141,11 +163,13 @@ class Allocation:
 
     # ------------------------------------------------------------------
     def copy(self) -> "Allocation":
-        """Deep copy."""
+        """Deep copy (provenance included)."""
         clone = Allocation(self.num_ads, self.num_nodes)
         for ad, seeds in enumerate(self._seed_sets):
             for user in seeds:
                 clone.assign(user, ad)
+        if self._provenance is not None:
+            clone._provenance = dict(self._provenance)
         return clone
 
     def __iter__(self) -> Iterator[frozenset[int]]:

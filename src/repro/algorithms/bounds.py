@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.advertising.problem import AdAllocationProblem
-from repro.rrset.collection import RRSetCollection
+from repro.rrset.pool import RRSetPool
 from repro.rrset.sampler import RRSetSampler
 from repro.utils.rng import spawn_generators
 
@@ -133,7 +133,7 @@ def compute_bounds(
     s_opts = np.zeros(h)
     for ad in range(h):
         sampler = RRSetSampler(problem.graph, problem.ad_edge_probabilities(ad), seed=rngs[ad])
-        collection = RRSetCollection(n)
+        collection = RRSetPool(n)
         sampler.sample_into(collection, rr_sets_per_ad)
         theta = collection.num_total
         delta = problem.ad_ctps(ad)

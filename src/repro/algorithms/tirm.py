@@ -40,8 +40,8 @@ from repro.algorithms.base import AllocationResult, Allocator
 from repro.algorithms.greedy import _beats
 from repro.errors import ConfigurationError
 from repro.rrset.pool import RRSetPool
-from repro.rrset.sampler import RRSetSampler
-from repro.rrset.sharded import ENGINE_MODES, ShardedSamplingEngine
+from repro.rrset.sampler import DEFAULT_CHUNK_SIZE, RRSetSampler
+from repro.rrset.sharded import ENGINE_MODES, RNG_MODES, ShardedSamplingEngine
 from repro.rrset.tim import greedy_max_coverage, required_rr_sets
 from repro.utils.rng import spawn_generators
 from repro.utils.timing import Timer
@@ -107,10 +107,22 @@ class TIRMAllocator(Allocator):
         Both are deterministic per ``seed``.
     engine:
         ``"serial"`` (default) samples every ad's RR-sets in-process;
-        ``"process"`` dispatches the batched pilot and growth requests
-        across the sharded engine's fork-based process pool.  The two
-        produce identical allocations for the same seed (the per-ad
-        stream state round-trips through the workers).
+        ``"process"`` fans the sharded engine's chunk tasks — the
+        batched pilot phase *and* every single-ad growth top-up — across
+        a fork-based process pool.  The two produce identical
+        allocations for the same ``(seed, chunk_size)``: every chunk of
+        RR sets is a pure function of its ``(seed, ad, set_index)``
+        address (``rng="philox"``).
+    rng:
+        ``"philox"`` (default): counter-based streams — every RR set is
+        addressed by ``(seed, ad, set_index)``, sampling parallelizes
+        within an ad, and a mid-allocation resume is deterministic.
+        ``"legacy"``: the historical stateful per-ad streams, bit-exact
+        with the pre-pool implementation (and strictly sequential).
+    chunk_size:
+        Set-index chunk width of the counter-based streams (ignored for
+        ``rng="legacy"``).  Part of the determinism contract: the same
+        ``(seed, chunk_size)`` reproduces the same allocation.
     initial_pilot:
         RR-sets sampled per ad before the first ``θ_i`` is computed.
     min_rr_sets_per_ad / max_rr_sets_per_ad:
@@ -130,6 +142,8 @@ class TIRMAllocator(Allocator):
         select_rule: str = "weighted",
         sampler_mode: str = "blocked",
         engine: str = "serial",
+        rng: str = "philox",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
         initial_pilot: int = 1_000,
         min_rr_sets_per_ad: int = 500,
         max_rr_sets_per_ad: int = 200_000,
@@ -151,6 +165,10 @@ class TIRMAllocator(Allocator):
             raise ConfigurationError(
                 f"engine must be one of {ENGINE_MODES}, got {engine!r}"
             )
+        if rng not in RNG_MODES:
+            raise ConfigurationError(f"rng must be one of {RNG_MODES}, got {rng!r}")
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
         if min_rr_sets_per_ad < 1 or max_rr_sets_per_ad < min_rr_sets_per_ad:
             raise ConfigurationError(
                 "need 1 <= min_rr_sets_per_ad <= max_rr_sets_per_ad, got "
@@ -161,6 +179,8 @@ class TIRMAllocator(Allocator):
         self.select_rule = select_rule
         self.sampler_mode = sampler_mode
         self.engine = engine
+        self.rng = rng
+        self.chunk_size = int(chunk_size)
         self.initial_pilot = int(initial_pilot)
         self.min_rr_sets_per_ad = int(min_rr_sets_per_ad)
         self.max_rr_sets_per_ad = int(max_rr_sets_per_ad)
@@ -179,14 +199,22 @@ class TIRMAllocator(Allocator):
         budgets = problem.catalog.budgets()
         cpes = problem.catalog.cpes()
         allocation = Allocation(h, n)
-        rngs = spawn_generators(self._seed, h)
+        # Counter-based streams take the master seed directly (per-ad
+        # separation happens in the spawn key); the legacy streams keep
+        # the historical per-ad child generators for bit-exactness.
+        if self.rng == "legacy":
+            seeds = spawn_generators(self._seed, h)
+        else:
+            seeds = self._seed
 
         engine = ShardedSamplingEngine(
             problem.graph,
             [problem.ad_edge_probabilities(ad) for ad in range(h)],
-            seeds=rngs,
+            seeds=seeds,
             mode=self.sampler_mode,
             engine=self.engine,
+            rng=self.rng,
+            chunk_size=self.chunk_size,
         )
         try:
             states = self._initial_states(problem, engine)
@@ -232,6 +260,23 @@ class TIRMAllocator(Allocator):
             engine.close()
 
         revenues = np.asarray([s.revenue for s in states])
+        # The RNG contract travels with the allocation: the master seed
+        # plus (for counter-based streams) the derived entropy root is
+        # what re-derives the exact RR samples behind these seed sets.
+        # A generator-valued seed was consumed while sampling and cannot
+        # be recorded — ``seed`` is None then, and under legacy streams
+        # such a run is not re-derivable (under philox the entropy root
+        # alone still is).
+        seed = int(self._seed) if isinstance(self._seed, (int, np.integer)) else None
+        allocation.set_provenance(
+            algorithm=self.name,
+            rng=self.rng,
+            chunk_size=self.chunk_size if self.rng == "philox" else None,
+            sampler_mode=self.sampler_mode,
+            engine=self.engine,
+            seed=seed,
+            stream_entropy=engine.stream_entropy(0),
+        )
         return AllocationResult(
             algorithm=self.name,
             allocation=allocation,
@@ -248,6 +293,8 @@ class TIRMAllocator(Allocator):
                 "select_rule": self.select_rule,
                 "sampler_mode": self.sampler_mode,
                 "engine": self.engine,
+                "rng": self.rng,
+                "chunk_size": self.chunk_size if self.rng == "philox" else None,
             },
         )
 
@@ -261,9 +308,11 @@ class TIRMAllocator(Allocator):
 
         Both rounds — the fixed-size pilots and the first ``θ_i = L(1, ε)``
         top-ups — are issued for *all* ads at once, so the process engine
-        samples every ad concurrently.  Per-ad streams see the exact same
-        draw sequence (pilot, then top-up) as the old serial per-ad loop,
-        keeping allocations bit-identical across engines.
+        samples every ad (and, under counter-based streams, every chunk)
+        concurrently.  Requests address absolute sample-count targets via
+        ``engine.ensure``: each ad's shard is grown to hold set indices
+        ``[0, target)``, never "``k`` more sets from wherever the stream
+        happens to be".
         """
         h = problem.num_ads
         states = [
@@ -273,13 +322,10 @@ class TIRMAllocator(Allocator):
         pilot = max(
             min(self.initial_pilot, self.max_rr_sets_per_ad), self.min_rr_sets_per_ad
         )
-        engine.sample({ad: pilot for ad in range(h)})
-        top_ups = {}
-        for ad in range(h):
-            target = self._theta_for(problem, states[ad], s=1)
-            if target > states[ad].theta:
-                top_ups[ad] = target - states[ad].theta
-        engine.sample(top_ups)
+        engine.ensure({ad: pilot for ad in range(h)})
+        engine.ensure(
+            {ad: self._theta_for(problem, states[ad], s=1) for ad in range(h)}
+        )
         return states
 
     #: Greedy-cover pilot size for OPT_s estimation: the cover runs on an
@@ -309,12 +355,14 @@ class TIRMAllocator(Allocator):
 
         The entry point is batch-shaped (a list of ads) but Algorithm
         2's trigger fires for one ad per iteration — the ad whose seed
-        count just reached its estimate — so the main loop passes a
-        singleton and the engine serves it in-process.  Concurrency
-        across ads comes from the pilot phase; growing several ads at
-        once here would change *when* each ad samples and break
-        bit-compatibility with the reference trajectory."""
-        extras: dict[int, int] = {}
+        count just reached its estimate.  Under counter-based streams
+        the engine splits even that single-ad request into ``(ad,
+        chunk)`` tasks fanned across the process pool, so the growth
+        phase — previously the serial bottleneck — scales with workers.
+        The request names the absolute target ``θ_i`` (set indices
+        ``[0, θ_i)``), so the sampled sets are independent of how growth
+        events interleave."""
+        targets: dict[int, int] = {}
         for ad in ads:
             state = states[ad]
             regret = regret_of(
@@ -327,16 +375,13 @@ class TIRMAllocator(Allocator):
                 growth = 0
             state.seed_size_estimate += max(growth, 1)
 
-            target = max(
-                self._theta_for(problem, state, state.seed_size_estimate), state.theta
-            )
-            extra = target - state.theta
-            if extra > 0:
-                extras[ad] = extra
-        if not extras:
+            target = self._theta_for(problem, state, state.seed_size_estimate)
+            if target > state.theta:
+                targets[ad] = target
+        if not targets:
             return
-        engine.sample(extras)
-        for ad in sorted(extras):
+        engine.ensure(targets)
+        for ad in sorted(targets):
             state = states[ad]
             # Algorithm 4: walk existing seeds in selection order, credit
             # each with its coverage among the new (still-alive) sets, and

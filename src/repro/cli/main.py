@@ -19,11 +19,15 @@ from repro.datasets.registry import DATASETS, load_dataset
 from repro.evaluation.evaluator import RegretEvaluator
 from repro.evaluation.reporting import format_table
 from repro.graph.stats import graph_stats
+from repro.rrset.sampler import DEFAULT_CHUNK_SIZE
+from repro.rrset.sharded import RNG_MODES
 
 _ALLOCATORS: dict[str, Callable[..., object]] = {
     "tirm": lambda args: TIRMAllocator(
         seed=args.seed, epsilon=args.epsilon, max_rr_sets_per_ad=args.max_rr_sets,
         engine=getattr(args, "engine", "serial"),
+        rng=getattr(args, "rng", "philox"),
+        chunk_size=getattr(args, "chunk_size", DEFAULT_CHUNK_SIZE),
     ),
     "greedy": lambda args: GreedyAllocator(num_runs=args.mc_runs, seed=args.seed),
     "myopic": lambda args: MyopicAllocator(),
@@ -62,6 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="RR-set sampling engine: in-process serial or the "
                                "per-advertiser sharded process pool (TIRM only; "
                                "both give identical allocations for a seed)")
+    allocate.add_argument("--rng", choices=RNG_MODES, default="philox",
+                          help="RR-set RNG streams (TIRM only): 'philox' = "
+                               "counter-based, every set addressed by (seed, ad, "
+                               "set index), chunk-parallel under --engine process; "
+                               "'legacy' = the historical sequential streams")
+    allocate.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                          dest="chunk_size",
+                          help="set-index chunk width of the philox streams; part "
+                               "of the determinism contract (same seed + same "
+                               "chunk size = same allocation)")
     allocate.add_argument("--mc-runs", type=int, default=200, dest="mc_runs")
     allocate.add_argument("--alpha", type=float, default=0.8)
 

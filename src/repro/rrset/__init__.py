@@ -7,12 +7,13 @@
 * :mod:`repro.rrset.pool` — the flat CSR storage engine: contiguous
   int32 member buffers, a bulk-built inverted index, and vectorized
   coverage/removal kernels (see ``docs/rrset_engine.md``);
-* :mod:`repro.rrset.collection` — a coverage index over sampled sets with
-  the lazy-deletion bookkeeping TIRM needs (now a thin alias of the
-  pool);
+* :mod:`repro.rrset.collection` — deprecated alias of the pool (kept for
+  the historical name; importing it warns);
 * :mod:`repro.rrset.sharded` — the per-advertiser sharded sampling
-  engine: one pool shard per ad, with serial or process-pool batched
-  sampling (both bit-identical for the same seed);
+  engine: one pool shard per ad, requests decomposed into counter-based
+  ``(ad, chunk)`` stream tasks served serially or over a process pool
+  (byte-identical for the same ``(seed, chunk_size)``, any worker
+  count);
 * :mod:`repro.rrset.tim` — the TIM ingredients: ``L(s, ε)`` (Eq. 5), OPT
   lower-bound estimation, greedy max-cover, and a standalone TIM
   influence maximizer;
@@ -20,11 +21,15 @@
   (Proposition 1 / Lemma 2).
 """
 
-from repro.rrset.collection import RRSetCollection
 from repro.rrset.estimator import RRSetSpreadOracle, estimate_spread_from_sets
 from repro.rrset.pool import CSRSetView, RRSetPool
 from repro.rrset.rrc import sample_rrc_set, sample_rrc_sets, sample_rrc_sets_into
-from repro.rrset.sampler import RRSetSampler, sample_rr_set, sample_rr_sets
+from repro.rrset.sampler import (
+    RRSetSampler,
+    StreamPlan,
+    sample_rr_set,
+    sample_rr_sets,
+)
 from repro.rrset.sharded import ShardedSamplingEngine
 from repro.rrset.tim import (
     TIMInfluenceMaximizer,
@@ -33,10 +38,22 @@ from repro.rrset.tim import (
     required_rr_sets,
 )
 
+def __getattr__(name: str):
+    # Lazy alias: importing the deprecated collection module eagerly
+    # would warn every ``repro.rrset`` user; resolving it on first
+    # attribute access warns only actual RRSetCollection importers.
+    if name == "RRSetCollection":
+        from repro.rrset.collection import RRSetCollection
+
+        return RRSetCollection
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "sample_rr_set",
     "sample_rr_sets",
     "RRSetSampler",
+    "StreamPlan",
     "sample_rrc_set",
     "sample_rrc_sets",
     "sample_rrc_sets_into",

@@ -17,7 +17,16 @@ members + CSR inverted index) and all mutations are vectorized — see
 
 from __future__ import annotations
 
+import warnings
+
 from repro.rrset.pool import RRSetPool
+
+warnings.warn(
+    "repro.rrset.collection is deprecated: RRSetCollection is a thin alias of "
+    "repro.rrset.pool.RRSetPool — import the pool directly",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 
 class RRSetCollection(RRSetPool):

@@ -8,31 +8,44 @@ initial pilots for all ``h`` ads, and every Algorithm-4 ``θ_i`` top-up —
 either serially in-process or concurrently across a
 ``concurrent.futures`` process pool.
 
-Process mode
-------------
+Counter-based streams (``rng="philox"``, the default)
+-----------------------------------------------------
 
-* Workers receive the graph CSR and the per-ad probability rows **once**
-  via fork (copy-on-write shared pages): the parent registers its
-  payload in a module-level registry before creating the executor, and
-  the forked children inherit it without any pickling of the graph.
-* Each request ships only ``(ad, count, rng-state)`` to a worker and
-  gets back a packed ``(members, lengths)`` block plus the advanced
-  rng-state; the parent splices the block into the ad's shard with
-  ``RRSetPool.add_flat`` and stores the state for the ad's next request.
-* Because the per-ad stream state round-trips with every task, an ad's
-  sample stream is continuous and **bit-identical to serial execution**
-  no matter which worker serves which request, in what order requests
-  complete, or how many workers exist.  ``engine="process"`` and
-  ``engine="serial"`` therefore produce the same shards set-for-set —
-  and identical TIRM allocations — for the same seed.
+Every RR set is addressed by ``(global_seed, ad, set_index)``: set
+indices are grouped into fixed-size *chunks*, and chunk ``c`` of ad
+``i`` owns the private generator
+``Philox(SeedSequence(entropy, spawn_key=(i, c)))`` (see
+:class:`~repro.rrset.sampler.StreamPlan`).  A request — *including a
+single ad's θ top-up* — therefore decomposes into independent
+``(ad, chunk)`` tasks that are fanned across the process pool and
+spliced back in set-index order.  Because every chunk is a pure function
+of its address, the shards are **bit-identical for serial, 1-worker and
+N-worker execution**, no matter how requests are split across calls.
+No RNG state round-trips through workers; each task ships only
+``(engine id, ad, chunk, lo, hi)``.
 
-Serial mode is the zero-overhead fallback: it calls the per-ad samplers
-in ad order, exactly like the pre-engine ``TIRMAllocator`` did, so it
-stays bit-identical to the historical per-seed child streams.
+* Workers receive the graph CSR, the per-ad probability rows, and the
+  stream entropies **once** via fork (copy-on-write shared pages): the
+  parent registers its payload in a module-level registry before
+  creating the executor, and the forked children inherit it without any
+  pickling of the graph.
+* Workers return packed ``(members, lengths)`` blocks; the parent
+  splices them into the ads' shards in ascending ``(ad, chunk)`` order,
+  independent of completion order.
+
+Legacy streams (``rng="legacy"``)
+---------------------------------
+
+The historical per-ad stateful streams (Mersenne scalar / PCG64
+blocked), kept for bit-exact reproduction of the seed implementation.
+They are strictly sequential — set ``k`` cannot be drawn without first
+drawing sets ``0..k-1`` — so legacy requests are always served serially
+in ad order, exactly like the pre-engine ``TIRMAllocator`` loop, even
+under ``engine="process"`` (a warning says so).
 
 On platforms without ``fork`` the process engine degrades to serial
-execution (with a warning) rather than paying a spawn-pickle of the
-graph per worker; see ``docs/rrset_engine.md`` for the architecture.
+execution (with a warning per engine) rather than paying a spawn-pickle
+of the graph per worker; see ``docs/rrset_engine.md``.
 """
 
 from __future__ import annotations
@@ -41,6 +54,7 @@ import itertools
 import multiprocessing
 import os
 import warnings
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Mapping, Sequence
 
@@ -49,43 +63,67 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DirectedGraph
 from repro.rrset.pool import RRSetPool
-from repro.rrset.sampler import RRSetSampler
-from repro.utils.rng import spawn_generators
+from repro.rrset.sampler import (
+    DEFAULT_CHUNK_SIZE,
+    RRSetSampler,
+    StreamPlan,
+    _slice_flat,
+)
+from repro.utils.rng import seed_entropy, spawn_generators
 
 ENGINE_MODES = ("serial", "process")
 SAMPLER_MODES = ("scalar", "blocked")
+RNG_MODES = ("philox", "legacy")
 
 #: Engine-id allocator: payloads of concurrently live engines must not
 #: collide in the worker-side registries.
 _ENGINE_IDS = itertools.count()
 
 #: Parent-side payload registry, inherited by forked workers.  Maps
-#: engine id -> (graph, per-ad probability rows).
-_FORK_PAYLOADS: dict[int, tuple[DirectedGraph, Sequence[np.ndarray]]] = {}
+#: engine id -> (graph, per-ad probability rows, per-ad entropies,
+#: chunk size).
+_FORK_PAYLOADS: dict[int, tuple] = {}
 
 #: Worker-side sampler cache, keyed by (engine id, ad).  Samplers are
 #: rebuilt lazily per worker so the O(m) scalar adjacency flattening is
-#: paid at most once per (worker, ad); their stream state is overwritten
-#: by every task, so the cache seed is irrelevant.
+#: paid at most once per (worker, ad); chunk streams come from the
+#: StreamPlan, so the cache seed is irrelevant.
 _WORKER_SAMPLERS: dict[tuple[int, int], RRSetSampler] = {}
 
 
-def _worker_sample(engine_id: int, ad: int, mode: str, count: int, rng_state):
-    """Run one sampling task in a worker: restore the ad's stream state,
-    draw ``count`` sets, and return the packed block plus the new state."""
+def _worker_sample_chunk(engine_id: int, ad: int, mode: str, chunk_index: int):
+    """Run one chunk task in a worker: rebuild the ad's plan from the
+    fork payload and return the chunk's full packed block.  The parent
+    slices out the requested subrange and caches partial tail blocks, so
+    a chunk is computed at most once per engine lifetime."""
     key = (engine_id, ad)
+    graph, probs_per_ad, entropies, chunk_size = _FORK_PAYLOADS[engine_id]
     sampler = _WORKER_SAMPLERS.get(key)
     if sampler is None:
-        graph, probs_per_ad = _FORK_PAYLOADS[engine_id]
         sampler = RRSetSampler(graph, probs_per_ad[ad], seed=0)
         _WORKER_SAMPLERS[key] = sampler
-    sampler.set_stream_state(mode, rng_state)
-    members, lengths = sampler.sample_flat(count, mode=mode)
-    return ad, members, lengths, sampler.get_stream_state(mode)
+    plan = StreamPlan(entropies[ad], ad, chunk_size)
+    members, lengths = sampler.sample_chunk_block(plan, chunk_index, mode=mode)
+    return ad, chunk_index, members, lengths
+
+
+def _release_engine_resources(resources: dict) -> None:
+    """Teardown shared by ``close()`` and the GC finalizer: shut the
+    worker pool down and drop the fork payload.  Runs at most once per
+    engine (``weakref.finalize`` guarantees it), in whichever comes
+    first — explicit close, context-manager exit, or garbage collection."""
+    executor = resources.get("executor")
+    if executor is not None:
+        resources["executor"] = None
+        executor.shutdown(wait=True)
+    payload_key = resources.get("payload_key")
+    if payload_key is not None:
+        resources["payload_key"] = None
+        _FORK_PAYLOADS.pop(payload_key, None)
 
 
 class ShardedSamplingEngine:
-    """One RR-set pool shard + sampler stream per advertiser.
+    """One RR-set pool shard per advertiser, with chunk-parallel sampling.
 
     Parameters
     ----------
@@ -94,19 +132,30 @@ class ShardedSamplingEngine:
     probs_per_ad:
         One per-canonical-edge probability array per advertiser.
     seeds:
-        Per-ad seeds: a sequence of ``h`` seed-likes (one per ad, e.g.
-        the ``spawn_generators`` children TIRM already derives), or a
-        single seed-like that is split into ``h`` child streams.
+        With ``rng="philox"``: a single seed-like whose
+        :func:`~repro.utils.rng.seed_entropy` becomes the global stream
+        root (per-ad streams are separated by the ``spawn_key``), or a
+        sequence of ``h`` seed-likes for explicit per-ad roots.  With
+        ``rng="legacy"``: a sequence of ``h`` per-ad seeds, or a single
+        seed split into ``h`` child streams — exactly the historical
+        behavior.
     mode:
         ``"blocked"`` (vectorized batched BFS) or ``"scalar"`` (the
-        bit-compatible Mersenne BFS) — the same knob as
+        per-set Python BFS) — the same knob as
         ``TIRMAllocator(sampler_mode=...)``.
     engine:
-        ``"serial"`` samples in-process in ad order; ``"process"``
-        dispatches requests across a fork-based process pool.  Both
-        produce identical shards for the same seeds.
+        ``"serial"`` samples in-process; ``"process"`` fans chunk tasks
+        across a fork-based process pool.  Both produce bit-identical
+        shards for the same ``(seeds, chunk_size)``.
     max_workers:
-        Process-pool width (default: ``min(h, os.cpu_count())``).
+        Process-pool width (default: ``os.cpu_count()``).
+    rng:
+        ``"philox"`` (counter-based, chunk-parallel; default) or
+        ``"legacy"`` (the historical stateful streams, always serial).
+    chunk_size:
+        Set-index chunk width of the counter-based streams.  Part of the
+        determinism contract — resampling with a different chunk size
+        yields different (equally valid) sets.
     """
 
     def __init__(
@@ -118,6 +167,8 @@ class ShardedSamplingEngine:
         mode: str = "blocked",
         engine: str = "serial",
         max_workers: int | None = None,
+        rng: str = "philox",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> None:
         if mode not in SAMPLER_MODES:
             raise ConfigurationError(
@@ -127,6 +178,10 @@ class ShardedSamplingEngine:
             raise ConfigurationError(
                 f"engine must be one of {ENGINE_MODES}, got {engine!r}"
             )
+        if rng not in RNG_MODES:
+            raise ConfigurationError(f"rng must be one of {RNG_MODES}, got {rng!r}")
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
         probs_per_ad = list(probs_per_ad)
         if not probs_per_ad:
             raise ConfigurationError("need at least one advertiser")
@@ -135,28 +190,68 @@ class ShardedSamplingEngine:
         self.graph = graph
         self.mode = mode
         self.engine = engine
+        self.rng = rng
+        self.chunk_size = int(chunk_size)
         h = len(probs_per_ad)
-        if isinstance(seeds, (list, tuple)):
-            if len(seeds) != h:
-                raise ConfigurationError(
-                    f"got {len(seeds)} per-ad seeds for {h} advertisers"
-                )
-            per_ad_seeds = list(seeds)
+        if isinstance(seeds, (list, tuple)) and len(seeds) != h:
+            raise ConfigurationError(
+                f"got {len(seeds)} per-ad seeds for {h} advertisers"
+            )
+        if rng == "philox":
+            if isinstance(seeds, (list, tuple)):
+                entropies = [seed_entropy(s) for s in seeds]
+            else:
+                root = seed_entropy(seeds)
+                entropies = [root] * h
+            self._entropies: list[int] | None = entropies
+            self._plans = [
+                StreamPlan(entropies[ad], ad, self.chunk_size) for ad in range(h)
+            ]
+            # Chunk streams come from the plans; the sampler seed is inert.
+            self._samplers = [
+                RRSetSampler(graph, probs_per_ad[ad], seed=0) for ad in range(h)
+            ]
         else:
-            per_ad_seeds = spawn_generators(seeds, h)
-        self._samplers = [
-            RRSetSampler(graph, probs_per_ad[ad], seed=per_ad_seeds[ad])
-            for ad in range(h)
-        ]
+            if isinstance(seeds, (list, tuple)):
+                per_ad_seeds = list(seeds)
+            else:
+                per_ad_seeds = spawn_generators(seeds, h)
+            self._entropies = None
+            self._plans = None
+            self._samplers = [
+                RRSetSampler(graph, probs_per_ad[ad], seed=per_ad_seeds[ad])
+                for ad in range(h)
+            ]
         self._shards = [RRSetPool(graph.num_nodes) for _ in range(h)]
+        # Per-ad cache of the last *partial* tail chunk's full block:
+        # chunks are pure, so a θ continuation that re-enters the chunk
+        # can reuse the block instead of resampling it.  Bounded by one
+        # block per ad; with it, every chunk is computed exactly once
+        # per engine lifetime.  ad -> (chunk_index, (members, lengths)).
+        self._tail_blocks: dict[int, tuple[int, tuple[np.ndarray, np.ndarray]]] = {}
         self._max_workers = max_workers
         self._engine_id = next(_ENGINE_IDS)
-        self._executor: ProcessPoolExecutor | None = None
-        self._payload_registered = False
         self._warned_no_fork = False
-        if engine == "process":
-            _FORK_PAYLOADS[self._engine_id] = (graph, probs_per_ad)
-            self._payload_registered = True
+        self._resources: dict = {"executor": None, "payload_key": None}
+        if engine == "process" and rng == "philox":
+            _FORK_PAYLOADS[self._engine_id] = (
+                graph, probs_per_ad, entropies, self.chunk_size,
+            )
+            self._resources["payload_key"] = self._engine_id
+        # GC-safe teardown: __del__ runs in arbitrary GC order (flaky
+        # under pytest-xdist), finalize does not.  close() triggers the
+        # same callback, so teardown is idempotent by construction.
+        self._finalizer = weakref.finalize(
+            self, _release_engine_resources, self._resources
+        )
+        if engine == "process" and rng == "legacy":
+            warnings.warn(
+                f"ShardedSamplingEngine #{self._engine_id}: rng='legacy' streams "
+                "are stateful and strictly sequential, so engine='process' will "
+                "sample serially; use rng='philox' for chunk-parallel sampling",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -171,8 +266,17 @@ class ShardedSamplingEngine:
         return self._shards[ad]
 
     def sampler(self, ad: int) -> RRSetSampler:
-        """The advertiser's sampler (the parent-side stream owner)."""
+        """The advertiser's sampler (the parent-side BFS core)."""
         return self._samplers[ad]
+
+    def plan(self, ad: int) -> StreamPlan | None:
+        """The advertiser's counter-based stream plan (``None`` under
+        ``rng="legacy"``)."""
+        return None if self._plans is None else self._plans[ad]
+
+    def stream_entropy(self, ad: int) -> int | None:
+        """The ad's stream entropy root (``None`` under ``rng="legacy"``)."""
+        return None if self._entropies is None else self._entropies[ad]
 
     def total_sets(self) -> int:
         """Σ over shards of sets ever sampled."""
@@ -191,16 +295,12 @@ class ShardedSamplingEngine:
 
         This is the engine's single entry point — TIRM routes both the
         initial pilot phase (all ads at once) and every Algorithm-4
-        growth top-up through it.  Requests for distinct ads are
-        independent streams, so process mode runs them concurrently;
-        results are spliced in ascending ad order either way.
-
-        A single ad's stream is strictly sequential, so a one-ad request
-        has no parallelism to exploit: process mode serves it in-process
-        rather than paying a worker round-trip.  Mixing the two paths is
-        safe — the parent-side sampler is the stream's source of truth
-        (worker tasks round-trip its state), so results stay
-        bit-identical either way.
+        growth top-up through it.  Under ``rng="philox"`` the request is
+        decomposed into fixed-size ``(ad, chunk)`` tasks — a single ad's
+        θ top-up included — which process mode fans across the worker
+        pool; blocks are spliced back in ascending ``(ad, chunk)`` order
+        regardless of completion order, so results are bit-identical for
+        serial, 1-worker, and N-worker execution.
         """
         cleaned: dict[int, int] = {}
         for ad, count in requests.items():
@@ -213,16 +313,57 @@ class ShardedSamplingEngine:
                 cleaned[ad] = count
         if not cleaned:
             return
-        if self.engine == "process" and len(cleaned) > 1:
-            if self._fork_available():
-                self._sample_process(cleaned)
-                return
-            if not self._warned_no_fork:  # pragma: no cover - non-fork only
+        if self.rng == "legacy":
+            self._sample_serial_legacy(cleaned)
+            return
+        tasks: list[tuple[int, int, int, int]] = []
+        for ad in sorted(cleaned):
+            start = self._shards[ad].num_total
+            for chunk_index, lo, hi in self._plans[ad].chunk_tasks(
+                start, start + cleaned[ad]
+            ):
+                tasks.append((ad, chunk_index, lo, hi))
+        # A closed engine has no pool or payload left — serve in-process.
+        use_pool = (
+            self.engine == "process" and len(tasks) > 1 and self._finalizer.alive
+        )
+        if use_pool and not self._fork_available():
+            if not self._warned_no_fork:
                 self._warned_no_fork = True
-                _warn_no_fork()
-        self._sample_serial(cleaned)
+                self._warn_no_fork()
+            use_pool = False
+        if use_pool:
+            self._run_tasks_process(tasks)
+        else:
+            self._run_tasks_serial(tasks)
 
-    def _sample_serial(self, requests: dict[int, int]) -> None:
+    def ensure(self, targets: Mapping[int, int]) -> None:
+        """Grow shards to *absolute* set counts: for each ad, sample
+        exactly the missing index range ``[num_total, target)``.
+
+        This is the index-addressed form of :meth:`sample`: callers name
+        the sample-size target (TIRM's ``θ_i``) instead of a delta from
+        the current stream position, which — together with the pure
+        chunk streams — makes a mid-allocation resume deterministic: any
+        engine with the same ``(seeds, chunk_size)`` asked to reach the
+        same targets holds the same shards, no matter how the requests
+        were split.  Targets at or below the current count are no-ops.
+        """
+        extras: dict[int, int] = {}
+        for ad, target in targets.items():
+            ad, target = int(ad), int(target)
+            if not 0 <= ad < self.num_ads:
+                raise ConfigurationError(f"ad {ad} out of range [0, {self.num_ads})")
+            if target < 0:
+                raise ConfigurationError(
+                    f"target must be >= 0, got {target} for ad {ad}"
+                )
+            current = self._shards[ad].num_total
+            if target > current:
+                extras[ad] = target - current
+        self.sample(extras)
+
+    def _sample_serial_legacy(self, requests: dict[int, int]) -> None:
         for ad in sorted(requests):
             sampler, shard, count = self._samplers[ad], self._shards[ad], requests[ad]
             if self.mode == "blocked":
@@ -230,30 +371,57 @@ class ShardedSamplingEngine:
             else:
                 sampler.sample_into(shard, count)
 
-    def _sample_process(self, requests: dict[int, int]) -> None:
+    def _cached_block(self, ad: int, chunk_index: int):
+        cached = self._tail_blocks.get(ad)
+        if cached is not None and cached[0] == chunk_index:
+            return cached[1]
+        return None
+
+    def _splice_block(
+        self, ad: int, chunk_index: int, lo: int, hi: int, block
+    ) -> None:
+        """Append sets ``[lo, hi)`` of the chunk to the ad's shard and
+        cache the block when the chunk is still partially consumed."""
+        members, lengths = _slice_flat(block[0], block[1], lo, hi)
+        self._shards[ad].add_flat(members, lengths)
+        self._samplers[ad].num_sampled += hi - lo
+        if hi < self.chunk_size:
+            self._tail_blocks[ad] = (chunk_index, block)
+        else:
+            self._tail_blocks.pop(ad, None)
+
+    def _run_tasks_serial(self, tasks: list[tuple[int, int, int, int]]) -> None:
+        for ad, chunk_index, lo, hi in tasks:
+            block = self._cached_block(ad, chunk_index)
+            if block is None:
+                block = self._samplers[ad].sample_chunk_block(
+                    self._plans[ad], chunk_index, mode=self.mode
+                )
+            self._splice_block(ad, chunk_index, lo, hi, block)
+
+    def _run_tasks_process(self, tasks: list[tuple[int, int, int, int]]) -> None:
         executor = self._ensure_executor()
-        futures = [
-            executor.submit(
-                _worker_sample,
-                self._engine_id,
-                ad,
-                self.mode,
-                requests[ad],
-                self._samplers[ad].get_stream_state(self.mode),
-            )
-            for ad in sorted(requests)
-        ]
-        blocks: dict[int, tuple] = {}
+        blocks: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        futures = []
+        for ad, chunk_index, lo, hi in tasks:
+            block = self._cached_block(ad, chunk_index)
+            if block is not None:
+                blocks[(ad, chunk_index)] = block
+            else:
+                futures.append(
+                    executor.submit(
+                        _worker_sample_chunk, self._engine_id, ad, self.mode,
+                        chunk_index,
+                    )
+                )
         for future in futures:
-            ad, members, lengths, new_state = future.result()
-            blocks[ad] = (members, lengths, new_state)
-        # Deterministic splice order (ascending ad), independent of which
-        # worker finished first.
-        for ad in sorted(blocks):
-            members, lengths, new_state = blocks[ad]
-            self._shards[ad].add_flat(members, lengths)
-            self._samplers[ad].set_stream_state(self.mode, new_state)
-            self._samplers[ad].num_sampled += requests[ad]
+            ad, chunk_index, members, lengths = future.result()
+            blocks[(ad, chunk_index)] = (members, lengths)
+        # Deterministic splice order (ascending ad, then chunk — the
+        # order the task list was built in), independent of which worker
+        # finished first.
+        for ad, chunk_index, lo, hi in tasks:
+            self._splice_block(ad, chunk_index, lo, hi, blocks[(ad, chunk_index)])
 
     # ------------------------------------------------------------------
     # Process-pool plumbing
@@ -263,24 +431,27 @@ class ShardedSamplingEngine:
         return "fork" in multiprocessing.get_all_start_methods()
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
-        if self._executor is None:
+        executor = self._resources["executor"]
+        if executor is None:
             workers = self._max_workers
             if workers is None:
-                workers = max(1, min(self.num_ads, os.cpu_count() or 1))
-            self._executor = ProcessPoolExecutor(
+                workers = max(1, os.cpu_count() or 1)
+            executor = ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=multiprocessing.get_context("fork"),
             )
-        return self._executor
+            self._resources["executor"] = executor
+        return executor
 
     def close(self) -> None:
-        """Shut down the worker pool and release the fork payload."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        if self._payload_registered:
-            _FORK_PAYLOADS.pop(self._engine_id, None)
-            self._payload_registered = False
+        """Shut down the worker pool and release the fork payload.
+
+        Idempotent: the teardown callback is shared with the GC
+        finalizer and runs at most once however many times it is
+        triggered.
+        """
+        if self._finalizer.alive:
+            self._finalizer()
 
     def __enter__(self) -> "ShardedSamplingEngine":
         return self
@@ -288,23 +459,20 @@ class ShardedSamplingEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
-        try:
-            self.close()
-        except Exception:
-            pass
+    def _warn_no_fork(self) -> None:
+        # The engine id makes the message unique per instance, so the
+        # warnings registry's once-per-location dedup cannot swallow the
+        # warning for every engine after the first in a process.
+        warnings.warn(
+            f"fork start method unavailable; ShardedSamplingEngine "
+            f"#{self._engine_id} (engine='process') will sample serially",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(h={self.num_ads}, mode={self.mode!r}, "
-            f"engine={self.engine!r}, total_sets={self.total_sets()})"
+            f"engine={self.engine!r}, rng={self.rng!r}, "
+            f"chunk_size={self.chunk_size}, total_sets={self.total_sets()})"
         )
-
-
-def _warn_no_fork() -> None:  # pragma: no cover - non-fork platforms only
-    warnings.warn(
-        "fork start method unavailable; ShardedSamplingEngine(engine='process') "
-        "will sample serially",
-        RuntimeWarning,
-        stacklevel=3,
-    )

@@ -28,6 +28,41 @@ def as_generator(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def seed_entropy(seed=None) -> int:
+    """A stable integer entropy root for counter-based streams.
+
+    Counter-based samplers (``np.random.Philox`` keyed by a
+    :class:`~numpy.random.SeedSequence` with a structured ``spawn_key``)
+    need one plain integer at the root so that every derived stream is a
+    pure function of ``(entropy, spawn_key)``.  This converts any
+    seed-like into that integer:
+
+    * ``None`` — fresh OS entropy (random, but fixed for the caller's
+      lifetime once drawn);
+    * ``int`` — used as-is;
+    * :class:`~numpy.random.SeedSequence` — its entropy when it is a
+      root sequence with a plain-int entropy, else a 128-bit digest of
+      its full state.  The digest covers the ``spawn_key``, so spawned
+      children map to *different* roots than their parent — two engines
+      seeded with a parent and one of its children must not end up with
+      correlated streams;
+    * :class:`~numpy.random.Generator` — one integer drawn from the
+      stream (deterministic given the generator's state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    if isinstance(seed, np.random.SeedSequence):
+        if isinstance(seed.entropy, int) and not seed.spawn_key:
+            return seed.entropy
+        words = seed.generate_state(2, np.uint64)
+        return (int(words[0]) << 64) | int(words[1])
+    if seed is None:
+        entropy = np.random.SeedSequence().entropy
+        assert isinstance(entropy, int)
+        return entropy
+    return int(seed)
+
+
 def spawn_generators(seed, count: int) -> list[np.random.Generator]:
     """Split ``seed`` into ``count`` statistically independent generators.
 

@@ -139,3 +139,20 @@ def test_counts_invariant_under_random_assignments(ops):
             expected[user] += 1
     assert np.array_equal(alloc.user_assignment_counts(), expected)
     assert alloc.total_seeds() == int(expected.sum())
+
+
+def test_provenance_roundtrip_and_equality_exclusion():
+    """Provenance records the producer's reproducibility contract; it is
+    metadata — merged across calls, copied with the allocation, and
+    excluded from equality."""
+    a = Allocation(2, 4)
+    assert a.provenance is None
+    a.set_provenance(rng="philox", chunk_size=64)
+    a.set_provenance(stream_entropy=7)
+    assert a.provenance == {"rng": "philox", "chunk_size": 64, "stream_entropy": 7}
+    clone = a.copy()
+    assert clone.provenance == a.provenance
+    clone.set_provenance(rng="legacy")
+    assert a.provenance["rng"] == "philox"  # copies do not share the dict
+    b = Allocation(2, 4)
+    assert a == b  # provenance never participates in equality

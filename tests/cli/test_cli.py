@@ -57,6 +57,31 @@ def test_allocate_rejects_unknown_algorithm():
         main(["allocate", "figure1", "--algorithm", "quantum"])
 
 
+def test_allocate_rng_and_chunk_size_flags(capsys):
+    code = main([
+        "allocate", "figure1", "--algorithm", "tirm",
+        "--eval-runs", "50", "--max-rr-sets", "1000",
+        "--rng", "legacy", "--chunk-size", "64",
+    ])
+    assert code == 0
+    assert "TIRM on figure1" in capsys.readouterr().out
+
+
+def test_allocate_rejects_unknown_rng():
+    with pytest.raises(SystemExit):
+        main(["allocate", "figure1", "--rng", "mersenne"])
+
+
+def test_parser_defaults_to_philox_streams():
+    args = build_parser().parse_args(["allocate", "figure1"])
+    assert args.rng == "philox"
+    assert args.chunk_size >= 1
+    args = build_parser().parse_args(
+        ["allocate", "figure1", "--rng", "philox", "--chunk-size", "128"]
+    )
+    assert args.chunk_size == 128
+
+
 def test_bounds_on_figure1(capsys):
     assert main(["bounds", "figure1", "--rr-sets", "1500"]) == 0
     out = capsys.readouterr().out

@@ -1,11 +1,30 @@
-"""RRSetCollection coverage bookkeeping."""
+"""RRSetCollection coverage bookkeeping (deprecated alias of RRSetPool)."""
+
+import importlib
+import sys
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.rrset.collection import RRSetCollection
+with pytest.warns(DeprecationWarning, match="repro.rrset.collection is deprecated"):
+    sys.modules.pop("repro.rrset.collection", None)
+    from repro.rrset.collection import RRSetCollection
+
+
+def test_alias_module_emits_deprecation_warning():
+    sys.modules.pop("repro.rrset.collection", None)
+    with pytest.warns(DeprecationWarning, match="import the pool directly"):
+        importlib.import_module("repro.rrset.collection")
+
+
+def test_package_resolves_alias_lazily():
+    import repro.rrset
+
+    assert repro.rrset.RRSetCollection.__name__ == "RRSetCollection"
+    with pytest.raises(AttributeError):
+        repro.rrset.no_such_symbol
 
 
 def _sets(*members):

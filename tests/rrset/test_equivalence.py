@@ -144,7 +144,9 @@ def test_tirm_allocation_bit_identical(seed):
     kwargs = dict(
         seed=seed, initial_pilot=400, max_rr_sets_per_ad=4_000, epsilon=0.2
     )
-    new = TIRMAllocator(sampler_mode="scalar", **kwargs).allocate(problem)
+    # Pinned to the legacy streams: the counter-based default is a
+    # different (equally valid) sample sequence by design.
+    new = TIRMAllocator(sampler_mode="scalar", rng="legacy", **kwargs).allocate(problem)
     old = LegacyTIRMAllocator(**kwargs).allocate(problem)
     assert new.allocation == old.allocation
     assert np.array_equal(new.estimated_revenues, old.estimated_revenues)

@@ -97,7 +97,7 @@ class TestConfiguration:
 class TestSerialCompatibility:
     @pytest.mark.parametrize("mode", ["scalar", "blocked"])
     def test_serial_engine_matches_plain_samplers(self, mode):
-        """The serial engine is the historical per-ad loop, bit-exact."""
+        """``rng="legacy"`` is the historical per-ad loop, bit-exact."""
         problem = _problem(1)
         h = problem.num_ads
         rngs = spawn_generators(5, h)
@@ -116,7 +116,8 @@ class TestSerialCompatibility:
             pools.append(pool)
 
         with ShardedSamplingEngine(
-            problem.graph, _probs(problem), seeds=5, mode=mode, engine="serial"
+            problem.graph, _probs(problem), seeds=5, mode=mode, engine="serial",
+            rng="legacy",
         ) as eng:
             eng.sample({ad: 150 for ad in range(h)})
             eng.sample({ad: 70 for ad in range(h)})

@@ -1,0 +1,422 @@
+"""Counter-based RNG streams: purity, chunk addressing, and invariance.
+
+The contract under test (``rng="philox"``): every RR set is a pure
+function of ``(global_seed, ad, set_index)`` given a chunk size — so the
+sampled pools must be byte-identical across serial execution, 1-worker
+and N-worker process pools, and any way of splitting the same index
+ranges across requests.
+"""
+
+from __future__ import annotations
+
+import gc
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.attention import AttentionBounds
+from repro.advertising.catalog import AdCatalog
+from repro.advertising.problem import AdAllocationProblem
+from repro.algorithms.tirm import TIRMAllocator
+from repro.errors import ConfigurationError
+from repro.graph.generators import erdos_renyi
+from repro.graph.probabilities import constant_probabilities
+from repro.rrset.sampler import RRSetSampler, StreamPlan
+from repro.rrset.sharded import _FORK_PAYLOADS, ShardedSamplingEngine
+
+
+def _problem(seed: int, num_ads: int = 3, budget: float = 6.0):
+    graph = erdos_renyi(60, 0.05, seed=seed)
+    catalog = AdCatalog(
+        [Advertiser(name=f"a{i}", budget=budget, cpe=1.0) for i in range(num_ads)]
+    )
+    return AdAllocationProblem(
+        graph,
+        catalog,
+        constant_probabilities(graph, 0.08),
+        0.4,
+        AttentionBounds.uniform(graph.num_nodes, num_ads),
+    )
+
+
+def _probs(problem):
+    return [problem.ad_edge_probabilities(ad) for ad in range(problem.num_ads)]
+
+
+def _fingerprint(engine: ShardedSamplingEngine):
+    out = []
+    for ad in range(engine.num_ads):
+        view = engine.shard(ad).prefix_view()
+        out.append(
+            (engine.shard(ad).num_total, view.members.copy(), view.indptr.copy())
+        )
+    return out
+
+
+def _assert_fingerprints_equal(a, b):
+    assert len(a) == len(b)
+    for (na, ma, pa), (nb, mb, pb) in zip(a, b):
+        assert na == nb
+        assert ma.tobytes() == mb.tobytes()
+        assert pa.tobytes() == pb.tobytes()
+
+
+class TestStreamPlan:
+    def test_chunk_tasks_partition_any_range(self):
+        plan = StreamPlan(42, ad=1, chunk_size=7)
+        for start, stop in [(0, 0), (0, 7), (3, 25), (7, 14), (13, 14), (0, 100)]:
+            tasks = plan.chunk_tasks(start, stop)
+            covered = [
+                chunk * 7 + off
+                for chunk, lo, hi in tasks
+                for off in range(lo, hi)
+            ]
+            assert covered == list(range(start, stop))
+            # chunks appear in ascending order, each at most once
+            chunks = [c for c, _, _ in tasks]
+            assert chunks == sorted(set(chunks))
+
+    def test_chunk_tasks_rejects_bad_range(self):
+        plan = StreamPlan(42, ad=0)
+        with pytest.raises(ValueError):
+            plan.chunk_tasks(-1, 4)
+        with pytest.raises(ValueError):
+            plan.chunk_tasks(5, 4)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            StreamPlan(0, ad=-1)
+        with pytest.raises(ValueError):
+            StreamPlan(0, ad=0, chunk_size=0)
+
+    def test_generators_are_pure_and_distinct(self):
+        plan = StreamPlan(9, ad=2, chunk_size=16)
+        a = plan.generator(5).random(8)
+        b = plan.generator(5).random(8)
+        assert np.array_equal(a, b)  # same address, same stream
+        assert not np.array_equal(a, plan.generator(6).random(8))
+        other_ad = StreamPlan(9, ad=3, chunk_size=16)
+        assert not np.array_equal(a, other_ad.generator(5).random(8))
+        other_seed = StreamPlan(10, ad=2, chunk_size=16)
+        assert not np.array_equal(a, other_seed.generator(5).random(8))
+
+    def test_scalar_random_is_pure(self):
+        plan = StreamPlan(9, ad=0, chunk_size=16)
+        a = [plan.scalar_random(3).random() for _ in range(2)]
+        assert a[0] == a[1]
+        assert plan.scalar_random(4).random() != a[0]
+
+
+class TestSeedEntropy:
+    def test_spawned_seed_sequences_get_distinct_roots(self):
+        """A parent SeedSequence and its spawned child are the standard
+        numpy idiom for independent streams — they must not collapse to
+        the same entropy root (and hence identical Philox chunks)."""
+        from repro.utils.rng import seed_entropy
+
+        parent = np.random.SeedSequence(5)
+        child = parent.spawn(1)[0]
+        assert seed_entropy(parent) == 5
+        assert seed_entropy(child) != seed_entropy(parent)
+        a = StreamPlan(seed_entropy(parent), ad=0, chunk_size=8)
+        b = StreamPlan(seed_entropy(child), ad=0, chunk_size=8)
+        assert not np.array_equal(a.generator(0).random(8), b.generator(0).random(8))
+
+    def test_generator_seed_draws_deterministically(self):
+        from repro.utils.rng import seed_entropy
+
+        a = seed_entropy(np.random.default_rng(3))
+        b = seed_entropy(np.random.default_rng(3))
+        assert a == b
+
+
+class TestChunkSampling:
+    """``RRSetSampler.sample_chunk_flat`` is stateless and sliceable."""
+
+    @pytest.mark.parametrize("mode", ["scalar", "blocked"])
+    def test_recomputing_a_chunk_is_identical(self, mode, small_random_graph):
+        probs = constant_probabilities(small_random_graph, 0.1)
+        plan = StreamPlan(5, ad=0, chunk_size=32)
+        sampler = RRSetSampler(small_random_graph, probs, seed=0)
+        first = sampler.sample_chunk_flat(plan, 2, mode=mode)
+        again = sampler.sample_chunk_flat(plan, 2, mode=mode)
+        assert first[0].tobytes() == again[0].tobytes()
+        assert first[1].tolist() == again[1].tolist()
+
+    @pytest.mark.parametrize("mode", ["scalar", "blocked"])
+    def test_slices_agree_with_full_chunk(self, mode, small_random_graph):
+        """Sets [lo, hi) of a chunk equal the same rows of the full chunk —
+        the property that makes partial-chunk resume pure."""
+        probs = constant_probabilities(small_random_graph, 0.1)
+        plan = StreamPlan(5, ad=1, chunk_size=24)
+        sampler = RRSetSampler(small_random_graph, probs, seed=0)
+        members, lengths = sampler.sample_chunk_flat(plan, 0, mode=mode)
+        bounds = np.concatenate(([0], np.cumsum(lengths)))
+        for lo, hi in [(0, 24), (0, 10), (10, 24), (7, 13), (23, 24)]:
+            m, ln = sampler.sample_chunk_flat(plan, 0, lo, hi, mode=mode)
+            assert ln.tolist() == lengths[lo:hi].tolist()
+            assert m.tobytes() == members[bounds[lo] : bounds[hi]].tobytes()
+
+    def test_rejects_bad_slice(self, small_random_graph):
+        probs = constant_probabilities(small_random_graph, 0.1)
+        plan = StreamPlan(5, ad=0, chunk_size=8)
+        sampler = RRSetSampler(small_random_graph, probs, seed=0)
+        with pytest.raises(ValueError):
+            sampler.sample_chunk_flat(plan, 0, 5, 3)
+        with pytest.raises(ValueError):
+            sampler.sample_chunk_flat(plan, 0, 0, 9)
+
+    def test_modes_draw_different_streams(self, small_random_graph):
+        probs = constant_probabilities(small_random_graph, 0.2)
+        plan = StreamPlan(5, ad=0, chunk_size=64)
+        sampler = RRSetSampler(small_random_graph, probs, seed=0)
+        scalar = sampler.sample_chunk_flat(plan, 0, mode="scalar")
+        blocked = sampler.sample_chunk_flat(plan, 0, mode="blocked")
+        assert scalar[0].tobytes() != blocked[0].tobytes()
+
+
+class TestRequestSplitInvariance:
+    """The same index ranges sampled through any request schedule produce
+    byte-identical shards (deterministic mid-allocation resume)."""
+
+    @pytest.mark.parametrize("mode", ["scalar", "blocked"])
+    def test_one_shot_equals_incremental(self, mode):
+        problem = _problem(1)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=11, mode=mode, chunk_size=16
+        ) as one_shot, ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=11, mode=mode, chunk_size=16
+        ) as incremental:
+            one_shot.sample({0: 150, 1: 90, 2: 40})
+            incremental.sample({0: 40})
+            incremental.sample({1: 90, 0: 23})
+            incremental.sample({0: 87, 2: 40})
+            _assert_fingerprints_equal(
+                _fingerprint(one_shot), _fingerprint(incremental)
+            )
+
+    @pytest.mark.parametrize("mode", ["scalar", "blocked"])
+    def test_ensure_is_an_index_range_request(self, mode):
+        problem = _problem(2)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=3, mode=mode, chunk_size=8
+        ) as a, ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=3, mode=mode, chunk_size=8
+        ) as b:
+            a.sample({0: 60})
+            b.ensure({0: 25})
+            b.ensure({0: 60})
+            b.ensure({0: 10})  # at/below current count: no-op
+            _assert_fingerprints_equal(_fingerprint(a), _fingerprint(b))
+            assert b.shard(0).num_total == 60
+
+    @pytest.mark.parametrize("mode", ["scalar", "blocked"])
+    def test_partial_tail_chunks_are_computed_once(self, mode, monkeypatch):
+        """Continuation requests re-entering a partially consumed chunk
+        must reuse the cached block, not resample it — with the cache,
+        every chunk is computed exactly once per engine lifetime."""
+        problem = _problem(3, num_ads=1)
+        computed = []
+        original = RRSetSampler.sample_chunk_block
+
+        def counting(self, plan, chunk_index, **kwargs):
+            computed.append(chunk_index)
+            return original(self, plan, chunk_index, **kwargs)
+
+        monkeypatch.setattr(RRSetSampler, "sample_chunk_block", counting)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=6, mode=mode, chunk_size=16
+        ) as eng, ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=6, mode=mode, chunk_size=16
+        ) as one_shot:
+            for count in (10, 10, 20):  # tails at 10, 20, 40 — chunks 0..2
+                eng.sample({0: count})
+            assert computed == [0, 1, 2]  # no chunk ever resampled
+            computed.clear()
+            one_shot.sample({0: 40})
+            _assert_fingerprints_equal(_fingerprint(eng), _fingerprint(one_shot))
+
+    def test_ensure_validates(self):
+        problem = _problem(2)
+        with ShardedSamplingEngine(problem.graph, _probs(problem), seeds=0) as eng:
+            with pytest.raises(ConfigurationError):
+                eng.ensure({9: 10})
+            with pytest.raises(ConfigurationError):
+                eng.ensure({0: -1})
+
+
+class TestWorkerCountInvariance:
+    """The acceptance matrix: byte-identical pools for workers in
+    {1, 2, 4} × chunk_size in {1, 7, 64}, on both sampler modes."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64])
+    @pytest.mark.parametrize("mode", ["scalar", "blocked"])
+    def test_pools_byte_identical(self, mode, chunk_size, workers):
+        problem = _problem(4, num_ads=2)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=8, mode=mode,
+            engine="serial", chunk_size=chunk_size,
+        ) as serial, ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=8, mode=mode,
+            engine="process", max_workers=workers, chunk_size=chunk_size,
+        ) as process:
+            for requests in ({0: 70, 1: 40}, {0: 33}, {1: 5}):
+                serial.sample(requests)
+                process.sample(requests)
+            _assert_fingerprints_equal(_fingerprint(serial), _fingerprint(process))
+
+    def test_single_ad_topup_fans_out_chunks(self, monkeypatch):
+        """A one-ad growth request must go through the worker pool as
+        multiple chunk tasks — the previously-serial phase the
+        counter-based streams exist to parallelize."""
+        problem = _problem(5, num_ads=1)
+        dispatched = []
+        original = ShardedSamplingEngine._run_tasks_process
+
+        def recording(self, tasks):
+            dispatched.append(list(tasks))
+            return original(self, tasks)
+
+        monkeypatch.setattr(ShardedSamplingEngine, "_run_tasks_process", recording)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=2, engine="process",
+            chunk_size=16, max_workers=2,
+        ) as eng:
+            eng.sample({0: 50})
+        assert len(dispatched) == 1
+        tasks = dispatched[0]
+        assert len(tasks) == 4  # ceil(50 / 16) chunks, all for ad 0
+        assert all(ad == 0 for ad, _, _, _ in tasks)
+
+
+class TestNoForkFallback:
+    def test_warns_once_per_engine_and_matches_serial(self, monkeypatch):
+        problem = _problem(6, num_ads=2)
+        monkeypatch.setattr(
+            ShardedSamplingEngine, "_fork_available", staticmethod(lambda: False)
+        )
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=4, engine="process", chunk_size=8
+        ) as eng, ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=4, engine="serial", chunk_size=8
+        ) as serial:
+            with pytest.warns(RuntimeWarning, match="fork start method unavailable"):
+                eng.sample({0: 30, 1: 30})
+            # the second request must not warn again on the same engine
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                eng.sample({0: 10})
+            serial.sample({0: 30, 1: 30})
+            serial.sample({0: 10})
+            _assert_fingerprints_equal(_fingerprint(eng), _fingerprint(serial))
+
+    def test_each_engine_instance_warns(self, monkeypatch):
+        problem = _problem(6, num_ads=2)
+        monkeypatch.setattr(
+            ShardedSamplingEngine, "_fork_available", staticmethod(lambda: False)
+        )
+        for _ in range(2):  # a fresh engine warns even after another already did
+            with ShardedSamplingEngine(
+                problem.graph, _probs(problem), seeds=4, engine="process",
+                chunk_size=8,
+            ) as eng:
+                with pytest.warns(RuntimeWarning, match="will sample serially"):
+                    eng.sample({0: 20, 1: 20})
+
+
+class TestTeardown:
+    def test_close_releases_payload_and_is_idempotent(self):
+        problem = _problem(7)
+        eng = ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=0, engine="process", chunk_size=8
+        )
+        engine_id = eng._engine_id
+        assert engine_id in _FORK_PAYLOADS
+        eng.sample({0: 20, 1: 20})
+        eng.close()
+        assert engine_id not in _FORK_PAYLOADS
+        eng.close()  # idempotent
+        # a closed engine still samples, in-process
+        eng.sample({0: 10})
+        assert eng.shard(0).num_total == 30
+
+    def test_gc_without_close_releases_payload(self):
+        problem = _problem(7)
+        eng = ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=0, engine="process", chunk_size=8
+        )
+        engine_id = eng._engine_id
+        eng.sample({0: 10, 1: 10})
+        del eng
+        gc.collect()
+        assert engine_id not in _FORK_PAYLOADS
+
+
+class TestLegacyMode:
+    def test_legacy_process_warns_and_samples_serially(self):
+        problem = _problem(8)
+        with pytest.warns(RuntimeWarning, match="strictly sequential"):
+            eng = ShardedSamplingEngine(
+                problem.graph, _probs(problem), seeds=5, rng="legacy",
+                engine="process",
+            )
+        with eng, ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=5, rng="legacy", engine="serial"
+        ) as serial:
+            eng.sample({0: 40, 1: 20, 2: 10})
+            serial.sample({0: 40, 1: 20, 2: 10})
+            _assert_fingerprints_equal(_fingerprint(eng), _fingerprint(serial))
+
+    def test_rejects_bad_rng(self):
+        problem = _problem(8)
+        with pytest.raises(ConfigurationError):
+            ShardedSamplingEngine(problem.graph, _probs(problem), rng="mersenne")
+        with pytest.raises(ConfigurationError):
+            ShardedSamplingEngine(problem.graph, _probs(problem), chunk_size=0)
+
+
+class TestTIRMContract:
+    def test_chunk_size_is_part_of_the_contract(self):
+        problem = _problem(9, num_ads=2)
+        kwargs = dict(
+            seed=3, initial_pilot=300, max_rr_sets_per_ad=2_000, epsilon=0.25
+        )
+        a = TIRMAllocator(chunk_size=32, **kwargs).allocate(problem)
+        b = TIRMAllocator(chunk_size=32, **kwargs).allocate(problem)
+        assert a.allocation == b.allocation
+        assert np.array_equal(a.estimated_revenues, b.estimated_revenues)
+
+    def test_rejects_bad_rng_params(self):
+        with pytest.raises(ConfigurationError):
+            TIRMAllocator(rng="mersenne")
+        with pytest.raises(ConfigurationError):
+            TIRMAllocator(chunk_size=0)
+
+    def test_stats_and_provenance_record_the_contract(self):
+        problem = _problem(9, num_ads=2)
+        result = TIRMAllocator(
+            seed=3, initial_pilot=300, max_rr_sets_per_ad=2_000, epsilon=0.25,
+            chunk_size=64,
+        ).allocate(problem)
+        assert result.stats["rng"] == "philox"
+        assert result.stats["chunk_size"] == 64
+        provenance = result.allocation.provenance
+        assert provenance["rng"] == "philox"
+        assert provenance["chunk_size"] == 64
+        assert provenance["seed"] == 3
+        assert provenance["stream_entropy"] == 3
+        assert result.allocation.copy().provenance == provenance
+
+    def test_legacy_provenance_records_the_master_seed(self):
+        problem = _problem(9, num_ads=2)
+        result = TIRMAllocator(
+            seed=5, rng="legacy", initial_pilot=300, max_rr_sets_per_ad=2_000,
+            epsilon=0.25,
+        ).allocate(problem)
+        provenance = result.allocation.provenance
+        assert provenance["rng"] == "legacy"
+        assert provenance["seed"] == 5  # enough to re-derive the legacy streams
+        assert provenance["stream_entropy"] is None

@@ -15,7 +15,7 @@ from hypothesis import strategies as st
 
 from repro.diffusion.exact import exact_click_probabilities, exact_spread
 from repro.graph.digraph import DirectedGraph
-from repro.rrset.collection import RRSetCollection
+from repro.rrset.pool import RRSetPool
 from repro.rrset.sampler import sample_rr_set
 
 
@@ -124,7 +124,7 @@ class TestRRSetStructure:
         from repro.rrset.tim import greedy_max_coverage
 
         arrays = [np.asarray(s, dtype=np.int64) for s in sets]
-        collection = RRSetCollection(6)
+        collection = RRSetPool(6)
         collection.add_sets(arrays)
         best_single = int(collection.coverage().max())
         _, covered = greedy_max_coverage(arrays, 6, 2)
