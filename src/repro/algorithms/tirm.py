@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.advertising.regret import regret_of
 from repro.algorithms.base import AllocationResult, Allocator
 from repro.algorithms.greedy import _beats
 from repro.errors import ConfigurationError
+from repro.rrset.checkpoint import TIRMCheckpoint, save_checkpoint
 from repro.rrset.pool import RRSetPool
 from repro.rrset.sampler import DEFAULT_CHUNK_SIZE, RRSetSampler
 from repro.rrset.sharded import ENGINE_MODES, RNG_MODES, ShardedSamplingEngine
@@ -128,6 +130,25 @@ class TIRMAllocator(Allocator):
     min_rr_sets_per_ad / max_rr_sets_per_ad:
         Clamp on each ``θ_i`` — the max keeps laptop-scale runs bounded
         (the paper ran on a 65 GB server).
+    max_workers:
+        Process-pool width for ``engine="process"`` (default: cpu count).
+    checkpoint_path / checkpoint_every:
+        Snapshot the in-flight allocation to ``checkpoint_path`` every
+        ``checkpoint_every`` iteration boundaries (default 1 when a path
+        is given; atomic overwrite, see :mod:`repro.rrset.checkpoint`).
+        Under ``rng="philox"`` the artifact holds no RR members — the
+        counter-based streams re-derive them on resume; ``rng="legacy"``
+        spills members to an mmap-backed sidecar.
+    resume_from:
+        Restore a mid-allocation snapshot and continue.  The resumed run
+        produces a byte-identical allocation to the uninterrupted one
+        for the same ``(seed, rng, chunk_size)``; mismatched parameters
+        raise :class:`~repro.errors.ConfigurationError`.
+    max_iterations:
+        Stop after this many iterations *of this run* (writing a final
+        checkpoint when ``checkpoint_path`` is set) and return the
+        partial allocation with ``stats["truncated"] = True`` — the
+        incremental building block for time-bounded allocation slices.
     seed:
         Master RNG seed; per-ad samplers get independent child streams.
     """
@@ -147,6 +168,11 @@ class TIRMAllocator(Allocator):
         initial_pilot: int = 1_000,
         min_rr_sets_per_ad: int = 500,
         max_rr_sets_per_ad: int = 200_000,
+        max_workers: int | None = None,
+        checkpoint_path=None,
+        checkpoint_every: int | None = None,
+        resume_from=None,
+        max_iterations: int | None = None,
         seed=None,
     ) -> None:
         if not 0 < epsilon < 1:
@@ -174,6 +200,22 @@ class TIRMAllocator(Allocator):
                 "need 1 <= min_rr_sets_per_ad <= max_rr_sets_per_ad, got "
                 f"{min_rr_sets_per_ad} / {max_rr_sets_per_ad}"
             )
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_path to write to"
+            )
+        if max_iterations is not None and max_iterations < 1:
+            raise ConfigurationError(
+                f"max_iterations must be >= 1, got {max_iterations}"
+            )
         self.epsilon = float(epsilon)
         self.ell = float(ell)
         self.select_rule = select_rule
@@ -184,6 +226,19 @@ class TIRMAllocator(Allocator):
         self.initial_pilot = int(initial_pilot)
         self.min_rr_sets_per_ad = int(min_rr_sets_per_ad)
         self.max_rr_sets_per_ad = int(max_rr_sets_per_ad)
+        self.max_workers = max_workers
+        self.checkpoint_path = (
+            os.fspath(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = (
+            int(checkpoint_every)
+            if checkpoint_every is not None
+            else (1 if self.checkpoint_path is not None else None)
+        )
+        self.resume_from = os.fspath(resume_from) if resume_from is not None else None
+        self.max_iterations = (
+            int(max_iterations) if max_iterations is not None else None
+        )
         self._seed = seed
 
     # ------------------------------------------------------------------
@@ -199,11 +254,19 @@ class TIRMAllocator(Allocator):
         budgets = problem.catalog.budgets()
         cpes = problem.catalog.cpes()
         allocation = Allocation(h, n)
+        checkpoint = None
+        if self.resume_from is not None:
+            checkpoint = TIRMCheckpoint.load(self.resume_from)
+            checkpoint.validate_config(self._checkpoint_config(problem))
         # Counter-based streams take the master seed directly (per-ad
         # separation happens in the spawn key); the legacy streams keep
-        # the historical per-ad child generators for bit-exactness.
+        # the historical per-ad child generators for bit-exactness.  On
+        # resume the checkpoint's entropy roots are authoritative: they
+        # rebuild the exact streams the snapshot was sampled from.
         if self.rng == "legacy":
             seeds = spawn_generators(self._seed, h)
+        elif checkpoint is not None:
+            seeds = list(checkpoint.entropies)
         else:
             seeds = self._seed
 
@@ -213,15 +276,36 @@ class TIRMAllocator(Allocator):
             seeds=seeds,
             mode=self.sampler_mode,
             engine=self.engine,
+            max_workers=self.max_workers,
             rng=self.rng,
             chunk_size=self.chunk_size,
         )
-        try:
-            states = self._initial_states(problem, engine)
+        checkpoints_written = 0
+        resumed_at = None
+        truncated = False
+        with engine:
+            if checkpoint is not None:
+                checkpoint.restore_engine(engine)
+                states = self._restored_states(checkpoint, engine, allocation)
+                iterations = checkpoint.iterations
+                resumed_at = checkpoint.iterations
+                lineage = checkpoint.lineage + [
+                    {
+                        "resumed_from": self.resume_from,
+                        "at_iteration": checkpoint.iterations,
+                    }
+                ]
+            else:
+                states = self._initial_states(problem, engine)
+                iterations = 0
+                lineage = []
+            # Heaps are derived state: the lazy selector's answers are
+            # pure functions of the coverage counters, so rebuilding them
+            # here keeps fresh and resumed runs on identical trajectories.
             for ad in range(h):
                 self._rebuild_heap(problem, ad, states[ad])
+            start_iterations = iterations
 
-            iterations = 0
             while True:
                 candidates = []
                 for ad in range(h):
@@ -256,8 +340,24 @@ class TIRMAllocator(Allocator):
                         problem, [best_ad], states, budgets, cpes,
                         {best_ad: marginal}, engine,
                     )
-        finally:
-            engine.close()
+
+                # Iteration boundary: the run state is consistent here
+                # (seed assigned, samples grown, revenue re-estimated),
+                # so this is where snapshots and time-bounded stops land.
+                stop = (
+                    self.max_iterations is not None
+                    and iterations - start_iterations >= self.max_iterations
+                )
+                if self.checkpoint_path is not None and (
+                    stop or iterations % self.checkpoint_every == 0
+                ):
+                    self._write_checkpoint(
+                        problem, engine, states, iterations, lineage
+                    )
+                    checkpoints_written += 1
+                if stop:
+                    truncated = True
+                    break
 
         revenues = np.asarray([s.revenue for s in states])
         # The RNG contract travels with the allocation: the master seed
@@ -277,6 +377,20 @@ class TIRMAllocator(Allocator):
             seed=seed,
             stream_entropy=engine.stream_entropy(0),
         )
+        # Checkpoint lineage travels with the allocation, but only for
+        # runs that actually touched the checkpoint machinery — an
+        # uninterrupted run's provenance stays identical to a plain one.
+        if self.checkpoint_path is not None or self.resume_from is not None:
+            allocation.set_provenance(
+                checkpoint={
+                    "path": self.checkpoint_path,
+                    "every": self.checkpoint_every,
+                    "written": checkpoints_written,
+                    "resumed_from": self.resume_from,
+                    "resumed_at_iteration": resumed_at,
+                    "lineage": lineage,
+                }
+            )
         return AllocationResult(
             algorithm=self.name,
             allocation=allocation,
@@ -295,8 +409,82 @@ class TIRMAllocator(Allocator):
                 "engine": self.engine,
                 "rng": self.rng,
                 "chunk_size": self.chunk_size if self.rng == "philox" else None,
+                "checkpoints_written": checkpoints_written,
+                "resumed_at_iteration": resumed_at,
+                "truncated": truncated,
             },
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume plumbing
+    # ------------------------------------------------------------------
+    def _checkpoint_config(self, problem) -> dict:
+        """The compatibility record stored in (and validated against)
+        every checkpoint artifact: resuming under different allocator
+        parameters or a different problem would silently converge to a
+        different allocation, so mismatches are refused up front."""
+        seed = int(self._seed) if isinstance(self._seed, (int, np.integer)) else None
+        return {
+            "algorithm": self.name,
+            "rng": self.rng,
+            "chunk_size": self.chunk_size if self.rng == "philox" else None,
+            "sampler_mode": self.sampler_mode,
+            "select_rule": self.select_rule,
+            "epsilon": self.epsilon,
+            "ell": self.ell,
+            "initial_pilot": self.initial_pilot,
+            "min_rr_sets_per_ad": self.min_rr_sets_per_ad,
+            "max_rr_sets_per_ad": self.max_rr_sets_per_ad,
+            "num_ads": problem.num_ads,
+            "num_nodes": problem.num_nodes,
+            "num_edges": problem.graph.num_edges,
+            "seed": seed,
+        }
+
+    def _write_checkpoint(
+        self, problem, engine, states, iterations: int, lineage: list
+    ) -> None:
+        per_ad = [
+            {
+                "seeds": state.seeds_in_order,
+                "marginal_nodes": list(state.marginal_coverage.keys()),
+                "marginal_counts": list(state.marginal_coverage.values()),
+                "revenue": state.revenue,
+                "seed_size_estimate": state.seed_size_estimate,
+                "active": state.active,
+            }
+            for state in states
+        ]
+        save_checkpoint(
+            self.checkpoint_path,
+            config=self._checkpoint_config(problem),
+            engine=engine,
+            per_ad=per_ad,
+            iterations=iterations,
+            lineage=lineage,
+        )
+
+    def _restored_states(
+        self, checkpoint: TIRMCheckpoint, engine, allocation: Allocation
+    ) -> list[_AdState]:
+        """Rebuild the per-ad allocator state (and the allocation's seed
+        assignments) from a restored snapshot.  The marginal-coverage
+        dicts keep their checkpointed insertion order — revenue
+        re-estimation sums floats in it."""
+        states = []
+        for ad in range(engine.num_ads):
+            state = _AdState(
+                sampler=engine.sampler(ad), collection=engine.shard(ad)
+            )
+            state.seed_size_estimate = int(checkpoint.seed_size_estimate[ad])
+            state.revenue = float(checkpoint.revenue[ad])
+            state.seeds_in_order = checkpoint.seeds_in_order(ad)
+            state.marginal_coverage = checkpoint.marginal_coverage(ad)
+            state.active = bool(checkpoint.active[ad])
+            for user in state.seeds_in_order:
+                allocation.assign(user, ad)
+            states.append(state)
+        return states
 
     # ------------------------------------------------------------------
     # Initialisation and sampling

@@ -8,6 +8,8 @@ testable with ``capsys``.
 from __future__ import annotations
 
 import argparse
+import os
+import sys
 from typing import Callable
 
 from repro.algorithms.bounds import compute_bounds
@@ -16,6 +18,7 @@ from repro.algorithms.irie import GreedyIRIEAllocator
 from repro.algorithms.myopic import MyopicAllocator, MyopicPlusAllocator
 from repro.algorithms.tirm import TIRMAllocator
 from repro.datasets.registry import DATASETS, load_dataset
+from repro.errors import ConfigurationError, ReproError
 from repro.evaluation.evaluator import RegretEvaluator
 from repro.evaluation.reporting import format_table
 from repro.graph.stats import graph_stats
@@ -28,6 +31,10 @@ _ALLOCATORS: dict[str, Callable[..., object]] = {
         engine=getattr(args, "engine", "serial"),
         rng=getattr(args, "rng", "philox"),
         chunk_size=getattr(args, "chunk_size", DEFAULT_CHUNK_SIZE),
+        max_workers=getattr(args, "workers", None),
+        checkpoint_path=getattr(args, "checkpoint", None),
+        checkpoint_every=getattr(args, "checkpoint_every", None),
+        resume_from=_resume_path(args),
     ),
     "greedy": lambda args: GreedyAllocator(num_runs=args.mc_runs, seed=args.seed),
     "myopic": lambda args: MyopicAllocator(),
@@ -36,6 +43,18 @@ _ALLOCATORS: dict[str, Callable[..., object]] = {
 }
 
 _DATASET_KWARG_NAMES = ("scale", "num_ads", "attention_bound", "penalty")
+
+
+def _resume_path(args) -> str | None:
+    """``--resume`` resolves to the ``--checkpoint`` path when an
+    artifact already exists there — a fresh launch of an always-on job
+    (no artifact yet) starts from scratch instead of erroring."""
+    if not getattr(args, "resume", False):
+        return None
+    checkpoint = getattr(args, "checkpoint", None)
+    if checkpoint is None:
+        raise ConfigurationError("--resume requires --checkpoint PATH")
+    return checkpoint if os.path.exists(checkpoint) else None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="set-index chunk width of the philox streams; part "
                                "of the determinism contract (same seed + same "
                                "chunk size = same allocation)")
+    allocate.add_argument("--workers", type=int, default=None,
+                          help="process-pool width for --engine process "
+                               "(default: cpu count)")
+    allocate.add_argument("--checkpoint", default=None, metavar="PATH",
+                          help="snapshot the TIRM allocation to PATH at "
+                               "iteration boundaries (atomic overwrite; with "
+                               "--rng philox the artifact holds no RR members "
+                               "— they are re-derived on resume)")
+    allocate.add_argument("--checkpoint-every", type=int, default=None,
+                          dest="checkpoint_every", metavar="N",
+                          help="snapshot every N iteration boundaries "
+                               "(default 1 when --checkpoint is given)")
+    allocate.add_argument("--resume", action="store_true",
+                          help="resume from the --checkpoint artifact if it "
+                               "exists; the resumed run is byte-identical to "
+                               "an uninterrupted one for the same seed/rng/"
+                               "chunk size")
     allocate.add_argument("--mc-runs", type=int, default=200, dest="mc_runs")
     allocate.add_argument("--alpha", type=float, default=0.8)
 
@@ -135,6 +171,15 @@ def _cmd_allocate(args) -> int:
     print(f"{allocator.name} on {args.dataset}: "
           f"{problem.num_nodes} users, {problem.num_ads} ads, "
           f"B = {problem.catalog.total_budget():.2f}")
+    lineage = (result.allocation.provenance or {}).get("checkpoint")
+    if lineage is not None:
+        origin = (
+            f"resumed from iteration {lineage['resumed_at_iteration']}"
+            if lineage["resumed_from"] is not None
+            else "fresh run"
+        )
+        print(f"checkpoint: {lineage['path']} "
+              f"({lineage['written']} written, {origin})")
     rows = [
         ["total regret (MC)", report.total_regret],
         ["relative to budget", report.regret.relative_to_budget()],
@@ -231,6 +276,15 @@ _COMMANDS = {
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library errors (bad knob values, incompatible checkpoints, pool
+    capacity, ...) surface as a one-line ``error:`` message and exit
+    code 2 — never as a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

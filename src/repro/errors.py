@@ -27,6 +27,17 @@ class ConfigurationError(ReproError):
     """Raised when an algorithm is configured with invalid parameters."""
 
 
+class CapacityError(ReproError):
+    """Raised when an RR-set pool would outgrow its fixed-width storage
+    (int32 set ids / member offsets) — the append is refused *before*
+    any buffer is corrupted."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint artifact is missing, corrupt, or of an
+    unsupported version."""
+
+
 class EstimationError(ReproError):
     """Raised when a spread/coverage estimator cannot produce an estimate
     (for example an empty RR-set collection)."""

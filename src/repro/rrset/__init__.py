@@ -14,6 +14,10 @@
   ``(ad, chunk)`` stream tasks served serially or over a process pool
   (byte-identical for the same ``(seed, chunk_size)``, any worker
   count);
+* :mod:`repro.rrset.checkpoint` — crash-safe checkpoint/resume for
+  in-flight TIRM allocations: a small versioned artifact that re-derives
+  RR members from the counter-based streams on load (legacy streams
+  spill members to an mmap-backed sidecar);
 * :mod:`repro.rrset.tim` — the TIM ingredients: ``L(s, ε)`` (Eq. 5), OPT
   lower-bound estimation, greedy max-cover, and a standalone TIM
   influence maximizer;
@@ -21,6 +25,11 @@
   (Proposition 1 / Lemma 2).
 """
 
+from repro.rrset.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    TIRMCheckpoint,
+    save_checkpoint,
+)
 from repro.rrset.estimator import RRSetSpreadOracle, estimate_spread_from_sets
 from repro.rrset.pool import CSRSetView, RRSetPool
 from repro.rrset.rrc import sample_rrc_set, sample_rrc_sets, sample_rrc_sets_into
@@ -61,6 +70,9 @@ __all__ = [
     "RRSetPool",
     "CSRSetView",
     "ShardedSamplingEngine",
+    "TIRMCheckpoint",
+    "save_checkpoint",
+    "CHECKPOINT_FORMAT_VERSION",
     "estimate_spread_from_sets",
     "RRSetSpreadOracle",
     "required_rr_sets",

@@ -1,0 +1,436 @@
+"""Crash-safe checkpoint/resume for in-flight TIRM allocations.
+
+A long allocation on an LJ-scale graph can run for hours revising each
+ad's sample size ``θ_i`` (Algorithms 2–4); losing all of it to a crash
+or preemption is what this module prevents.  A checkpoint is a *small*,
+versioned artifact snapshotted at iteration boundaries: it records the
+RNG provenance (master ``seed``, ``rng`` mode, ``chunk_size``, per-ad
+stream entropies), the per-ad ``θ_i`` targets, the chosen seeds in
+selection order, the marginal-coverage/revenue state, and the per-shard
+alive masks — and, crucially, **no RR-set members** under the default
+``rng="philox"`` streams.
+
+Why no members?  Counter-based addressing makes every RR set a pure
+function of ``(seed, ad, set_index)`` (see
+:class:`~repro.rrset.sampler.StreamPlan`), so
+:meth:`~repro.rrset.sharded.ShardedSamplingEngine.ensure` re-derives the
+exact shard contents byte-identically on load — the checkpoint only
+needs to name the targets.  Heaps are likewise *derived* state: the lazy
+selector's answers are pure functions of the coverage counters, so the
+restore path rebuilds them instead of persisting them.
+
+Legacy streams (``rng="legacy"``) are stateful and sequential, so their
+sets cannot be re-derived from an address.  For them the artifact spills
+the raw members to an ``.npy`` sidecar written with
+:func:`numpy.save` and re-loaded with ``mmap_mode="r"`` — the members
+page in lazily during restore, which doubles as the engine's cold-set
+path for samples larger than RAM — and captures both per-ad stream
+states (Mersenne scalar + PCG64 blocked) so post-resume top-ups continue
+bit-identically.
+
+Artifact layout (``format_version`` 1)
+--------------------------------------
+
+One uncompressed ``.npz`` written atomically (temp file + ``os.replace``):
+
+* ``meta_json`` — version, the allocator/problem compatibility config,
+  iteration count, resume lineage, per-ad stream entropies (philox) or
+  stream states (legacy), and the spill sidecar name (legacy);
+* ``theta`` / ``revenue`` / ``seed_size_estimate`` / ``active`` — per-ad
+  vectors;
+* ``seeds_{i}`` — ad ``i``'s chosen seeds in selection order;
+* ``marginal_nodes_{i}`` / ``marginal_counts_{i}`` — the Algorithm-4
+  marginal-coverage map in insertion order (the order matters: revenue
+  re-estimation sums floats in it);
+* ``alive_{i}`` — the shard's alive mask, bit-packed;
+* ``spill_lengths_{i}`` — per-set member counts (legacy only; the flat
+  members live in the sidecar ``<artifact>.members-<iteration>.npy``).
+
+The sidecar is written *before* the main artifact is swapped in and
+stale sidecars are removed only afterwards, so a crash at any point
+leaves a readable ``(artifact, sidecar)`` pair on disk.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import zipfile
+
+import numpy as np
+import numpy.lib.format as _npy_format
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.rrset.sharded import ShardedSamplingEngine
+
+#: Bump on any incompatible artifact change; loaders refuse unknown
+#: versions instead of guessing.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Config keys that must match exactly between the checkpointed run and
+#: the resuming allocator/problem — any drift would silently change the
+#: allocation the resumed run converges to.
+_MATCH_KEYS = (
+    "algorithm",
+    "rng",
+    "sampler_mode",
+    "select_rule",
+    "epsilon",
+    "ell",
+    "initial_pilot",
+    "min_rr_sets_per_ad",
+    "max_rr_sets_per_ad",
+    "num_ads",
+    "num_nodes",
+    "num_edges",
+)
+
+
+def _spill_name(path: str, iterations: int) -> str:
+    return f"{os.path.basename(path)}.members-{iterations}.npy"
+
+
+def _atomic_write(target: str, writer) -> None:
+    """Write via ``writer(open file)`` to a temp sibling, then rename."""
+    tmp = f"{target}.tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            writer(handle)
+        os.replace(tmp, target)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+def _write_spill(handle, parts: list[np.ndarray], total: int) -> None:
+    """Stream the per-shard member arrays into one flat ``.npy``: header
+    first, then each block — the full sample is never materialized as a
+    single in-RAM copy (the sidecar exists precisely for >RAM θ)."""
+    _npy_format.write_array_header_1_0(
+        handle,
+        {
+            "descr": _npy_format.dtype_to_descr(np.dtype(np.int32)),
+            "fortran_order": False,
+            "shape": (int(total),),
+        },
+    )
+    for part in parts:
+        handle.write(np.ascontiguousarray(part, dtype=np.int32).tobytes())
+
+
+def _reusable_spill(path: str, config: dict, theta: np.ndarray) -> str | None:
+    """Sidecar of the previous snapshot at ``path``, when still valid.
+
+    The spill is a pure function of the shard contents, and legacy
+    shards only change on θ growth — which Algorithm 2 triggers on a
+    small fraction of iteration boundaries.  If the previous artifact
+    was written by the same run (equal config) at the same per-ad θ and
+    its sidecar is intact, reference it instead of rewriting the full
+    member spill every iteration."""
+    if not os.path.exists(path):
+        return None
+    try:
+        previous = TIRMCheckpoint.load(path)
+    except CheckpointError:
+        return None
+    if previous.spill_file is None or previous.config != config:
+        return None
+    if not np.array_equal(np.asarray(previous.theta), np.asarray(theta)):
+        return None
+    sidecar = os.path.join(os.path.dirname(path) or ".", previous.spill_file)
+    return previous.spill_file if os.path.exists(sidecar) else None
+
+
+def save_checkpoint(
+    path,
+    *,
+    config: dict,
+    engine: ShardedSamplingEngine,
+    per_ad: list[dict],
+    iterations: int,
+    lineage: list[dict],
+) -> None:
+    """Snapshot an in-flight allocation to ``path`` (atomic overwrite).
+
+    ``config`` is the allocator/problem compatibility record (validated
+    on resume), ``per_ad`` one dict per advertiser with keys ``seeds``,
+    ``marginal_nodes``, ``marginal_counts``, ``revenue``,
+    ``seed_size_estimate`` and ``active``, and ``lineage`` the list of
+    resume events this run inherited (recorded into
+    ``Allocation.provenance`` by the allocator).
+    """
+    path = os.fspath(path)
+    h = engine.num_ads
+    if len(per_ad) != h:
+        raise ValueError(f"got {len(per_ad)} per-ad records for {h} shards")
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    meta: dict = {
+        "format": "tirm-checkpoint",
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "config": dict(config),
+        "iterations": int(iterations),
+        "lineage": list(lineage),
+    }
+    arrays: dict[str, np.ndarray] = {
+        "theta": np.asarray(
+            [engine.shard(ad).num_total for ad in range(h)], dtype=np.int64
+        ),
+        "revenue": np.asarray([p["revenue"] for p in per_ad], dtype=np.float64),
+        "seed_size_estimate": np.asarray(
+            [p["seed_size_estimate"] for p in per_ad], dtype=np.int64
+        ),
+        "active": np.asarray([p["active"] for p in per_ad], dtype=bool),
+    }
+    for ad in range(h):
+        arrays[f"seeds_{ad}"] = np.asarray(per_ad[ad]["seeds"], dtype=np.int64)
+        arrays[f"marginal_nodes_{ad}"] = np.asarray(
+            per_ad[ad]["marginal_nodes"], dtype=np.int64
+        )
+        arrays[f"marginal_counts_{ad}"] = np.asarray(
+            per_ad[ad]["marginal_counts"], dtype=np.int64
+        )
+        arrays[f"alive_{ad}"] = np.packbits(engine.shard(ad).alive_mask())
+    if engine.rng == "philox":
+        meta["entropies"] = [engine.stream_entropy(ad) for ad in range(h)]
+    else:
+        meta["entropies"] = None
+        meta["legacy_states"] = [
+            engine.sampler(ad).legacy_state() for ad in range(h)
+        ]
+        spill_parts: list[np.ndarray] = []
+        for ad in range(h):
+            view = engine.shard(ad).prefix_view()
+            arrays[f"spill_lengths_{ad}"] = np.diff(view.indptr)
+            spill_parts.append(np.asarray(view.members))
+        spill = _reusable_spill(path, config, arrays["theta"])
+        if spill is None:
+            spill = _spill_name(path, iterations)
+            total = sum(int(p.size) for p in spill_parts)
+            _atomic_write(
+                os.path.join(os.path.dirname(path) or ".", spill),
+                lambda f: _write_spill(f, spill_parts, total),
+            )
+        meta["spill_file"] = spill
+    arrays["meta_json"] = np.array(json.dumps(meta))
+    _atomic_write(path, lambda f: np.savez(f, **arrays))
+    # Only after the new artifact is in place: drop sidecars of older
+    # snapshots (a crash before this point leaves both pairs readable).
+    current = meta.get("spill_file")
+    for stale in glob.glob(f"{path}.members-*.npy"):
+        if os.path.basename(stale) != current:
+            try:
+                os.remove(stale)
+            except OSError:
+                pass
+
+
+class TIRMCheckpoint:
+    """A loaded checkpoint artifact (see the module docstring for the
+    on-disk layout).  Use :meth:`load`, then :meth:`validate_config`
+    against the resuming allocator, then :meth:`restore_engine` on a
+    freshly constructed engine."""
+
+    def __init__(self, path: str, meta: dict, arrays: dict) -> None:
+        self.path = path
+        self.config: dict = meta["config"]
+        self.iterations: int = int(meta["iterations"])
+        self.lineage: list[dict] = list(meta.get("lineage", []))
+        self.entropies = meta.get("entropies")
+        self.legacy_states = meta.get("legacy_states")
+        self.spill_file = meta.get("spill_file")
+        self.num_ads: int = int(self.config["num_ads"])
+        self.theta = arrays["theta"]
+        self.revenue = arrays["revenue"]
+        self.seed_size_estimate = arrays["seed_size_estimate"]
+        self.active = arrays["active"]
+        self._arrays = arrays
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "TIRMCheckpoint":
+        """Load and structurally validate a checkpoint artifact."""
+        path = os.fspath(path)
+        if not os.path.exists(path):
+            raise CheckpointError(f"no checkpoint artifact at {path!r}")
+        try:
+            # BadZipFile subclasses Exception directly (not OSError), so
+            # it must be named: a truncated artifact raises it.
+            with np.load(path, allow_pickle=False) as data:
+                arrays = {name: data[name] for name in data.files}
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise CheckpointError(
+                f"could not read checkpoint artifact {path!r}: {exc}"
+            ) from exc
+        if "meta_json" not in arrays:
+            raise CheckpointError(
+                f"{path!r} is not a TIRM checkpoint (no meta_json entry)"
+            )
+        try:
+            meta = json.loads(str(arrays["meta_json"][()]))
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"corrupt checkpoint metadata in {path!r}") from exc
+        if meta.get("format") != "tirm-checkpoint":
+            raise CheckpointError(f"{path!r} is not a TIRM checkpoint")
+        version = meta.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint format version {version!r} in {path!r} "
+                f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+            )
+        checkpoint = cls(path, meta, arrays)
+        required = ["theta", "revenue", "seed_size_estimate", "active"]
+        for ad in range(checkpoint.num_ads):
+            required += [f"seeds_{ad}", f"marginal_nodes_{ad}",
+                         f"marginal_counts_{ad}", f"alive_{ad}"]
+        missing = [name for name in required if name not in arrays]
+        if missing:
+            raise CheckpointError(
+                f"checkpoint {path!r} is missing entries: {missing}"
+            )
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # Per-ad accessors
+    # ------------------------------------------------------------------
+    def seeds_in_order(self, ad: int) -> list[int]:
+        """Ad ``ad``'s chosen seeds in selection order."""
+        return [int(v) for v in self._arrays[f"seeds_{ad}"]]
+
+    def marginal_coverage(self, ad: int) -> dict[int, int]:
+        """The Algorithm-4 marginal-coverage map, in insertion order."""
+        return {
+            int(node): int(count)
+            for node, count in zip(
+                self._arrays[f"marginal_nodes_{ad}"],
+                self._arrays[f"marginal_counts_{ad}"],
+            )
+        }
+
+    def alive_mask(self, ad: int) -> np.ndarray:
+        """The shard's snapshotted alive mask, unpacked."""
+        theta = int(self.theta[ad])
+        return np.unpackbits(self._arrays[f"alive_{ad}"], count=theta).astype(bool)
+
+    # ------------------------------------------------------------------
+    # Validation and restore
+    # ------------------------------------------------------------------
+    def validate_config(self, config: dict) -> None:
+        """Refuse to resume into an incompatible allocator/problem.
+
+        Every key in ``_MATCH_KEYS`` must match exactly; ``chunk_size``
+        must match under ``rng="philox"`` (it is part of the stream
+        contract); and when both runs name an integer master ``seed``
+        the seeds must agree.
+        """
+        mismatches = [
+            f"{key}: checkpoint={self.config.get(key)!r} vs run={config.get(key)!r}"
+            for key in _MATCH_KEYS
+            if self.config.get(key) != config.get(key)
+        ]
+        if self.config.get("rng") == "philox" and self.config.get(
+            "chunk_size"
+        ) != config.get("chunk_size"):
+            mismatches.append(
+                f"chunk_size: checkpoint={self.config.get('chunk_size')!r} "
+                f"vs run={config.get('chunk_size')!r}"
+            )
+        old_seed, new_seed = self.config.get("seed"), config.get("seed")
+        if old_seed is not None and new_seed is not None and old_seed != new_seed:
+            mismatches.append(f"seed: checkpoint={old_seed!r} vs run={new_seed!r}")
+        if mismatches:
+            raise ConfigurationError(
+                "checkpoint is incompatible with this run: "
+                + "; ".join(mismatches)
+            )
+
+    def restore_engine(self, engine: ShardedSamplingEngine) -> None:
+        """Rebuild the snapshot's shards inside a *fresh* engine.
+
+        Under ``rng="philox"`` the members are re-derived byte-identically
+        from the counter-based streams (``engine.ensure`` to each ``θ_i``
+        — nothing was persisted); under ``rng="legacy"`` they are loaded
+        from the mmap-backed spill sidecar and the stream states are
+        restored.  The snapshot's alive masks are then re-applied, which
+        also restores the coverage counters exactly.
+        """
+        if engine.num_ads != self.num_ads:
+            raise ConfigurationError(
+                f"engine has {engine.num_ads} shards, checkpoint {self.num_ads}"
+            )
+        if engine.rng != self.config.get("rng"):
+            raise ConfigurationError(
+                f"engine rng={engine.rng!r}, checkpoint "
+                f"rng={self.config.get('rng')!r}"
+            )
+        if engine.total_sets():
+            raise CheckpointError(
+                "restore_engine needs a freshly constructed engine "
+                f"(found {engine.total_sets()} existing sets)"
+            )
+        if engine.rng == "philox":
+            for ad in range(self.num_ads):
+                if engine.stream_entropy(ad) != self.entropies[ad]:
+                    raise ConfigurationError(
+                        f"engine stream entropy for ad {ad} does not match "
+                        "the checkpoint; construct the engine from the "
+                        "checkpoint's entropies"
+                    )
+            engine.ensure(
+                {ad: int(self.theta[ad]) for ad in range(self.num_ads)}
+            )
+        else:
+            members = self._load_spill()
+            offset = 0
+            for ad in range(self.num_ads):
+                lengths = np.asarray(
+                    self._arrays[f"spill_lengths_{ad}"], dtype=np.int64
+                )
+                total = int(lengths.sum())
+                if lengths.size:
+                    engine.shard(ad).add_flat(members[offset : offset + total],
+                                              lengths)
+                offset += total
+                engine.sampler(ad).set_legacy_state(self.legacy_states[ad])
+        for ad in range(self.num_ads):
+            shard = engine.shard(ad)
+            theta = int(self.theta[ad])
+            if shard.num_total != theta:
+                raise CheckpointError(
+                    f"restored shard {ad} holds {shard.num_total} sets, "
+                    f"checkpoint recorded {theta}"
+                )
+            shard.kill_sets(np.flatnonzero(~self.alive_mask(ad)))
+
+    def _load_spill(self) -> np.ndarray:
+        if self.spill_file is None:
+            raise CheckpointError(
+                f"legacy checkpoint {self.path!r} names no member spill"
+            )
+        spill_path = os.path.join(
+            os.path.dirname(self.path) or ".", self.spill_file
+        )
+        if not os.path.exists(spill_path):
+            raise CheckpointError(
+                f"member spill {spill_path!r} is missing (checkpoint "
+                f"{self.path!r} is incomplete)"
+            )
+        # mmap: members page in lazily as add_flat copies each ad's
+        # slice — the artifact's cold-set path for >RAM samples.
+        try:
+            return np.load(spill_path, mmap_mode="r")
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise CheckpointError(
+                f"could not read member spill {spill_path!r}: {exc}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(path={self.path!r}, "
+            f"iterations={self.iterations}, rng={self.config.get('rng')!r}, "
+            f"num_ads={self.num_ads})"
+        )

@@ -32,11 +32,21 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import CapacityError
+
 #: Members are node ids; int32 halves RR memory vs the old int64 arrays
 #: and comfortably addresses graphs up to 2^31 nodes.
 MEMBER_DTYPE = np.int32
 #: Set ids in the inverted index; int32 supports 2^31 sets per pool.
 SET_ID_DTYPE = np.int32
+
+#: Hard per-pool limits implied by the int32 storage dtypes: set ids in
+#: the inverted index and member offsets must both stay below 2^31.
+#: ``add_flat`` refuses appends that would cross either limit (with a
+#: :class:`~repro.errors.CapacityError`) before touching any buffer —
+#: silently wrapping ids would corrupt the CSR index.
+MAX_SETS = int(np.iinfo(SET_ID_DTYPE).max)
+MAX_MEMBERS = int(np.iinfo(np.int32).max)
 
 #: Full index rebuild triggers when pending members exceed this fraction
 #: of the indexed members (geometric growth ⇒ amortized O(log) rebuilds).
@@ -244,6 +254,18 @@ class RRSetPool:
         count = lengths.size
         if count == 0:
             return
+        if self._num_sets + count > MAX_SETS:
+            raise CapacityError(
+                f"appending {count} sets to a pool holding {self._num_sets} "
+                f"would exceed the int32 set-id limit ({MAX_SETS}); shard the "
+                "sample across pools"
+            )
+        if self._members_used + members.size > MAX_MEMBERS:
+            raise CapacityError(
+                f"appending {members.size} members to a pool holding "
+                f"{self._members_used} would exceed the int32 member-offset "
+                f"limit ({MAX_MEMBERS}); shard the sample across pools"
+            )
         self._reserve_members(self._members_used + members.size)
         self._reserve_sets(self._num_sets + count)
         self._members[self._members_used : self._members_used + members.size] = members
@@ -272,6 +294,28 @@ class RRSetPool:
         # A set that contains ``node`` twice (possible through the public
         # ``add_sets``) appears twice in the index; dedup before killing.
         ids = np.unique(ids)
+        self._alive_mask[ids] = False
+        self._num_alive -= ids.size
+        _bump_counts(self._coverage, self._gather_members(ids), -1)
+        return int(ids.size)
+
+    def kill_sets(self, set_ids) -> int:
+        """Mark the given sets dead by id, decrementing coverage.
+
+        This is the checkpoint-restore primitive: after a pool's sets
+        have been re-derived (or re-loaded from a spill), the snapshot's
+        alive mask is re-applied by killing exactly the sets that the
+        chosen seeds had covered.  Already-dead ids are ignored; returns
+        how many sets were actually killed.
+        """
+        ids = np.unique(np.asarray(set_ids, dtype=np.int64).ravel())
+        if ids.size == 0:
+            return 0
+        if ids[0] < 0 or ids[-1] >= self._num_sets:
+            raise IndexError(f"set ids must lie in [0, {self._num_sets})")
+        ids = ids[self._alive_mask[ids]]
+        if ids.size == 0:
+            return 0
         self._alive_mask[ids] = False
         self._num_alive -= ids.size
         _bump_counts(self._coverage, self._gather_members(ids), -1)
@@ -439,7 +483,12 @@ class RRSetPool:
     def _reserve_members(self, needed: int) -> None:
         if needed <= self._members.size:
             return
-        capacity = max(self._members.size * 2, needed, 1_024)
+        if needed > MAX_MEMBERS:
+            raise CapacityError(
+                f"pool cannot hold {needed} members: int32 member-offset "
+                f"limit is {MAX_MEMBERS}"
+            )
+        capacity = min(max(self._members.size * 2, needed, 1_024), MAX_MEMBERS)
         grown = np.empty(capacity, dtype=MEMBER_DTYPE)
         grown[: self._members_used] = self._members[: self._members_used]
         self._members = grown
@@ -448,7 +497,11 @@ class RRSetPool:
     def _reserve_sets(self, needed: int) -> None:
         if needed <= self._alive_mask.size:
             return
-        capacity = max(self._alive_mask.size * 2, needed, 256)
+        if needed > MAX_SETS:
+            raise CapacityError(
+                f"pool cannot hold {needed} sets: int32 set-id limit is {MAX_SETS}"
+            )
+        capacity = min(max(self._alive_mask.size * 2, needed, 256), MAX_SETS)
         alive = np.empty(capacity, dtype=bool)
         alive[: self._num_sets] = self._alive_mask[: self._num_sets]
         self._alive_mask = alive

@@ -238,20 +238,28 @@ class ShardedSamplingEngine:
                 graph, probs_per_ad, entropies, self.chunk_size,
             )
             self._resources["payload_key"] = self._engine_id
-        # GC-safe teardown: __del__ runs in arbitrary GC order (flaky
-        # under pytest-xdist), finalize does not.  close() triggers the
-        # same callback, so teardown is idempotent by construction.
-        self._finalizer = weakref.finalize(
-            self, _release_engine_resources, self._resources
-        )
-        if engine == "process" and rng == "legacy":
-            warnings.warn(
-                f"ShardedSamplingEngine #{self._engine_id}: rng='legacy' streams "
-                "are stateful and strictly sequential, so engine='process' will "
-                "sample serially; use rng='philox' for chunk-parallel sampling",
-                RuntimeWarning,
-                stacklevel=2,
+        try:
+            # GC-safe teardown: __del__ runs in arbitrary GC order (flaky
+            # under pytest-xdist), finalize does not.  close() triggers the
+            # same callback, so teardown is idempotent by construction.
+            self._finalizer = weakref.finalize(
+                self, _release_engine_resources, self._resources
             )
+            if engine == "process" and rng == "legacy":
+                warnings.warn(
+                    f"ShardedSamplingEngine #{self._engine_id}: rng='legacy' streams "
+                    "are stateful and strictly sequential, so engine='process' will "
+                    "sample serially; use rng='philox' for chunk-parallel sampling",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        except BaseException:
+            # Construction failed after the fork payload was registered
+            # (e.g. an error-filtered warning): a half-built engine has no
+            # finalizer yet, so release its resources here instead of
+            # leaking the payload (and any executor) forever.
+            _release_engine_resources(self._resources)
+            raise
 
     # ------------------------------------------------------------------
     # Accessors
@@ -403,25 +411,35 @@ class ShardedSamplingEngine:
         executor = self._ensure_executor()
         blocks: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
         futures = []
-        for ad, chunk_index, lo, hi in tasks:
-            block = self._cached_block(ad, chunk_index)
-            if block is not None:
-                blocks[(ad, chunk_index)] = block
-            else:
-                futures.append(
-                    executor.submit(
-                        _worker_sample_chunk, self._engine_id, ad, self.mode,
-                        chunk_index,
+        try:
+            for ad, chunk_index, lo, hi in tasks:
+                block = self._cached_block(ad, chunk_index)
+                if block is not None:
+                    blocks[(ad, chunk_index)] = block
+                else:
+                    futures.append(
+                        executor.submit(
+                            _worker_sample_chunk, self._engine_id, ad, self.mode,
+                            chunk_index,
+                        )
                     )
-                )
-        for future in futures:
-            ad, chunk_index, members, lengths = future.result()
-            blocks[(ad, chunk_index)] = (members, lengths)
-        # Deterministic splice order (ascending ad, then chunk — the
-        # order the task list was built in), independent of which worker
-        # finished first.
-        for ad, chunk_index, lo, hi in tasks:
-            self._splice_block(ad, chunk_index, lo, hi, blocks[(ad, chunk_index)])
+            for future in futures:
+                ad, chunk_index, members, lengths = future.result()
+                blocks[(ad, chunk_index)] = (members, lengths)
+            # Deterministic splice order (ascending ad, then chunk — the
+            # order the task list was built in), independent of which worker
+            # finished first.
+            for ad, chunk_index, lo, hi in tasks:
+                self._splice_block(ad, chunk_index, lo, hi, blocks[(ad, chunk_index)])
+        except BaseException:
+            # A failed batch (worker crash, submit error, splice error)
+            # leaves the request partially applied; don't also leak the
+            # worker pool — cancel what hasn't started and route through
+            # the idempotent close().
+            for future in futures:
+                future.cancel()
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
     # Process-pool plumbing

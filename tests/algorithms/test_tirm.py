@@ -239,3 +239,26 @@ class TestAttention:
         # no user may appear in both seed sets
         overlap = result.allocation.seeds(0) & result.allocation.seeds(1)
         assert overlap == frozenset()
+
+
+class TestCheckpointKnobValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk_size": 0},
+            {"rng": "mersenne"},
+            {"max_workers": 0},
+            {"max_workers": -4},
+            {"checkpoint_every": 0, "checkpoint_path": "x.npz"},
+            {"checkpoint_every": 2},  # every without a path
+            {"max_iterations": 0},
+        ],
+    )
+    def test_rejects_bad_knobs_at_the_boundary(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TIRMAllocator(**kwargs)
+
+    def test_checkpoint_path_defaults_every_to_one(self, tmp_path):
+        allocator = TIRMAllocator(checkpoint_path=tmp_path / "ck.npz")
+        assert allocator.checkpoint_every == 1
+        assert TIRMAllocator().checkpoint_every is None

@@ -103,3 +103,77 @@ def test_parser_help_mentions_commands():
     help_text = parser.format_help()
     for command in ("datasets", "allocate", "figure1", "bounds", "im"):
         assert command in help_text
+
+
+def test_allocate_rejects_zero_chunk_size_cleanly(capsys):
+    """Knob validation at the CLI boundary: a clean one-line error and
+    exit code 2, not a deep numpy traceback."""
+    code = main(["allocate", "figure1", "--chunk-size", "0"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "chunk_size" in err
+
+
+def test_allocate_rejects_negative_workers_cleanly(capsys):
+    code = main(["allocate", "figure1", "--workers", "-3"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "max_workers" in err
+
+
+def test_resume_without_checkpoint_rejected_cleanly(capsys):
+    code = main(["allocate", "figure1", "--resume"])
+    assert code == 2
+    assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+def test_checkpoint_flag_writes_artifact_and_resume_reuses_it(tmp_path, capsys):
+    path = tmp_path / "figure1.ckpt.npz"
+    code = main([
+        "allocate", "figure1", "--algorithm", "tirm",
+        "--eval-runs", "50", "--max-rr-sets", "1000",
+        "--checkpoint", str(path),
+    ])
+    assert code == 0
+    assert path.exists()
+    first = capsys.readouterr().out
+    assert "checkpoint:" in first and "fresh run" in first
+    code = main([
+        "allocate", "figure1", "--algorithm", "tirm",
+        "--eval-runs", "50", "--max-rr-sets", "1000",
+        "--checkpoint", str(path), "--resume",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "resumed from iteration" in out
+
+
+def test_resume_with_absent_artifact_starts_fresh(tmp_path, capsys):
+    """First launch of an always-on job: --resume with no artifact yet
+    must start from scratch, not error out."""
+    path = tmp_path / "never-written.npz"
+    code = main([
+        "allocate", "figure1", "--algorithm", "tirm",
+        "--eval-runs", "50", "--max-rr-sets", "1000",
+        "--checkpoint", str(path), "--resume",
+    ])
+    assert code == 0
+    assert "fresh run" in capsys.readouterr().out
+
+
+def test_incompatible_resume_surfaces_clean_error(tmp_path, capsys):
+    path = tmp_path / "ck.npz"
+    assert main([
+        "allocate", "figure1", "--eval-runs", "50", "--max-rr-sets", "1000",
+        "--checkpoint", str(path),
+    ]) == 0
+    capsys.readouterr()
+    code = main([
+        "allocate", "figure1", "--eval-runs", "50", "--max-rr-sets", "1000",
+        "--seed", "9", "--checkpoint", str(path), "--resume",
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "incompatible" in err

@@ -234,3 +234,119 @@ class TestMemoryAccounting:
         pool = RRSetPool(10)
         pool.add_sets(_sets([1, 2]))
         assert pool.get_set(0).dtype == np.int32
+
+
+class TestCapacityLimits:
+    """int32 overflow guards: the pool must refuse — loudly, before any
+    buffer mutation — appends that would wrap set ids or member offsets
+    past 2^31 and silently corrupt the CSR index."""
+
+    def _near_set_limit(self):
+        from repro.rrset.pool import MAX_SETS
+
+        pool = RRSetPool(4)
+        pool.add_sets(_sets([0], [1]))
+        snapshot = (pool.num_total, pool.coverage().copy())
+        # White-box: fake a pool one set short of the id limit — actually
+        # appending 2^31 sets is not testable hardware-wise.
+        pool._num_sets = MAX_SETS - 1
+        return pool, snapshot
+
+    def test_add_flat_refuses_set_id_overflow(self):
+        from repro.errors import CapacityError
+
+        pool, _ = self._near_set_limit()
+        with pytest.raises(CapacityError, match="set-id limit"):
+            pool.add_flat(
+                np.asarray([0, 1, 2], dtype=np.int32),
+                np.asarray([1, 1, 1], dtype=np.int64),
+            )
+
+    def test_add_flat_refuses_member_offset_overflow(self):
+        from repro.errors import CapacityError
+        from repro.rrset.pool import MAX_MEMBERS
+
+        pool = RRSetPool(4)
+        pool.add_sets(_sets([0, 1]))
+        pool._members_used = MAX_MEMBERS - 1
+        with pytest.raises(CapacityError, match="member-offset limit"):
+            pool.add_flat(
+                np.asarray([0, 1], dtype=np.int32),
+                np.asarray([2], dtype=np.int64),
+            )
+
+    def test_reserve_helpers_refuse_overflow_directly(self):
+        from repro.errors import CapacityError
+        from repro.rrset.pool import MAX_MEMBERS, MAX_SETS
+
+        pool = RRSetPool(4)
+        with pytest.raises(CapacityError):
+            pool._reserve_members(MAX_MEMBERS + 1)
+        with pytest.raises(CapacityError):
+            pool._reserve_sets(MAX_SETS + 1)
+
+    def test_refused_append_leaves_pool_untouched(self):
+        """The guard must fire before any mutation: a refused append is
+        not a partially applied one."""
+        from repro.errors import CapacityError
+        from repro.rrset.pool import MAX_SETS
+
+        pool = RRSetPool(4)
+        pool.add_sets(_sets([0], [1, 2]))
+        coverage = pool.coverage().copy()
+        members_used = pool._members_used
+        pool._num_sets = MAX_SETS  # at the limit: any append overflows
+        with pytest.raises(CapacityError):
+            pool.add_flat(
+                np.asarray([3], dtype=np.int32), np.asarray([1], dtype=np.int64)
+            )
+        pool._num_sets = 2  # restore the honest count
+        assert pool._members_used == members_used
+        assert np.array_equal(pool.coverage(), coverage)
+        assert pool.num_total == 2
+
+
+class TestKillSets:
+    def test_kills_by_id_and_decrements_coverage(self):
+        pool = RRSetPool(5)
+        pool.add_sets(_sets([0, 1], [1, 2], [3]))
+        killed = pool.kill_sets([0, 2])
+        assert killed == 2
+        assert pool.num_alive == 1
+        assert not pool.is_alive(0) and pool.is_alive(1) and not pool.is_alive(2)
+        assert pool.coverage_of(1) == 1  # only set 1 still covers node 1
+        assert pool.coverage_of(0) == 0 and pool.coverage_of(3) == 0
+
+    def test_already_dead_ids_are_ignored(self):
+        pool = RRSetPool(5)
+        pool.add_sets(_sets([0], [1]))
+        assert pool.kill_sets([0]) == 1
+        assert pool.kill_sets([0, 1]) == 1  # 0 already dead
+        assert pool.kill_sets([]) == 0
+        assert pool.num_alive == 0
+
+    def test_restores_remove_covered_semantics(self):
+        """Killing the snapshot's dead ids reproduces the exact state a
+        sequence of ``remove_covered`` calls left behind."""
+        rng = np.random.default_rng(5)
+        source = RRSetPool(30)
+        source.add_sets(
+            [rng.choice(30, size=4, replace=False) for _ in range(200)]
+        )
+        twin = RRSetPool(30)
+        twin.add_sets([source.get_set(i).copy() for i in range(200)])
+        for node in (3, 17, 9):
+            source.remove_covered(node)
+        dead = np.flatnonzero(~np.asarray(source.alive_mask()))
+        twin.kill_sets(dead)
+        assert np.array_equal(twin.alive_mask(), source.alive_mask())
+        assert np.array_equal(twin.coverage(), source.coverage())
+        assert twin.num_alive == source.num_alive
+
+    def test_rejects_out_of_range_ids(self):
+        pool = RRSetPool(3)
+        pool.add_sets(_sets([0]))
+        with pytest.raises(IndexError):
+            pool.kill_sets([5])
+        with pytest.raises(IndexError):
+            pool.kill_sets([-1])

@@ -206,3 +206,79 @@ class TestTIRMIntegration:
     def test_tirm_rejects_bad_engine(self):
         with pytest.raises(ConfigurationError):
             TIRMAllocator(engine="threads")
+
+
+def _exploding_worker(engine_id, ad, mode, chunk_index):
+    # module-level so the fork pool can pickle it by reference
+    raise ValueError("worker exploded")
+
+
+class TestLifecycle:
+    """Executor/payload teardown on every exit path — explicit close,
+    context manager, failed construction, and failed task batches."""
+
+    def test_context_manager_closes_and_releases_payload(self):
+        from repro.rrset.sharded import _FORK_PAYLOADS
+
+        problem = _problem(0)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=0, engine="process"
+        ) as engine:
+            engine.sample({0: 20, 1: 20})
+            assert engine._engine_id in _FORK_PAYLOADS
+        assert engine._engine_id not in _FORK_PAYLOADS
+        assert not engine._finalizer.alive
+
+    def test_context_manager_releases_on_exception(self):
+        from repro.rrset.sharded import _FORK_PAYLOADS
+
+        problem = _problem(0)
+        with pytest.raises(RuntimeError, match="boom"):
+            with ShardedSamplingEngine(
+                problem.graph, _probs(problem), seeds=0, engine="process"
+            ) as engine:
+                engine.sample({0: 10})
+                raise RuntimeError("boom")
+        assert engine._engine_id not in _FORK_PAYLOADS
+        assert not engine._finalizer.alive
+
+    def test_failed_construction_releases_payload(self):
+        """A warning promoted to an error mid-construction must not leak
+        the registered fork payload of a half-built engine."""
+        import warnings
+
+        from repro.rrset.sharded import _FORK_PAYLOADS
+
+        problem = _problem(0)
+        before = set(_FORK_PAYLOADS)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            with pytest.raises(RuntimeWarning):
+                ShardedSamplingEngine(
+                    problem.graph, _probs(problem), seeds=0,
+                    engine="process", rng="legacy",
+                )
+        assert set(_FORK_PAYLOADS) == before
+
+    def test_failed_task_batch_routes_through_close(self, monkeypatch):
+        """A worker exception must surface to the caller AND shut the
+        pool down (idempotent close), not leak the executor."""
+        import repro.rrset.sharded as sharded_module
+
+        monkeypatch.setattr(
+            sharded_module, "_worker_sample_chunk", _exploding_worker
+        )
+        problem = _problem(0)
+        engine = ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=0, engine="process",
+            chunk_size=8, max_workers=2,
+        )
+        if not engine._fork_available():  # pragma: no cover - platform guard
+            engine.close()
+            pytest.skip("fork start method unavailable")
+        with pytest.raises(ValueError, match="worker exploded"):
+            engine.sample({0: 40, 1: 40})
+        assert not engine._finalizer.alive
+        assert engine._resources["executor"] is None
+        assert engine._engine_id not in sharded_module._FORK_PAYLOADS
+        engine.close()  # still idempotent after the failure path
