@@ -1,0 +1,37 @@
+"""Repo-wide pytest configuration: the ``--backend`` knob.
+
+``pytest --backend numba`` re-runs backend-aware tests and benchmarks
+(the worker-count-invariance matrix in ``tests/rrset/test_streams.py``,
+the backend suite in ``tests/rrset/test_backends.py``, the Fig.-6
+scalability bench) on the requested sampling backend — the CI numba leg
+runs the rrset/tirm suites this way.  Tests that request the
+``rrset_backend`` fixture are skipped, not failed, when the requested
+backend's optional dependency is missing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rrset.backends import BACKEND_MODES, numba_available
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--backend",
+        default="numpy",
+        choices=BACKEND_MODES,
+        help="RR-set sampling backend for backend-aware tests/benches "
+             "(numpy = reference, numba = JIT kernel, auto = best "
+             "available); numba-requiring tests skip when it is not "
+             "installed",
+    )
+
+
+@pytest.fixture(scope="session")
+def rrset_backend(request) -> str:
+    """The ``--backend`` name, skipping if its dependency is absent."""
+    name = request.config.getoption("--backend")
+    if name == "numba" and not numba_available():
+        pytest.skip("numba backend requested but numba is not installed")
+    return name

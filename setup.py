@@ -1,9 +1,29 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Packaging for the ``repro`` reproduction package.
 
-All metadata lives in ``pyproject.toml``; this file only enables the
-legacy ``pip install -e . --no-use-pep517`` editable path offline.
+Kept as a plain ``setup.py`` so the legacy
+``pip install -e . --no-use-pep517`` editable path works offline.
+Optional extras:
+
+* ``numba`` — the JIT sampling backend
+  (``repro.rrset.backends.NumbaBackend``, CLI ``--backend numba``).
+  The core package stays pure numpy; without the extra, ``--backend
+  auto`` falls back to the numpy reference backend with a one-time
+  warning, and ``--backend numba`` errors cleanly.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.5.0",
+    description=(
+        "Reproduction of 'Ad Allocation with Minimum Regret' (VLDB 2015)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "numba": ["numba>=0.57"],
+    },
+)

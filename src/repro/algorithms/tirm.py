@@ -40,6 +40,7 @@ from repro.advertising.regret import regret_of
 from repro.algorithms.base import AllocationResult, Allocator
 from repro.algorithms.greedy import _beats
 from repro.errors import ConfigurationError
+from repro.rrset.backends import BACKEND_MODES, SamplingBackend, resolve_backend
 from repro.rrset.checkpoint import TIRMCheckpoint, save_checkpoint
 from repro.rrset.pool import RRSetPool
 from repro.rrset.sampler import DEFAULT_CHUNK_SIZE, RRSetSampler
@@ -125,6 +126,18 @@ class TIRMAllocator(Allocator):
         Set-index chunk width of the counter-based streams (ignored for
         ``rng="legacy"``).  Part of the determinism contract: the same
         ``(seed, chunk_size)`` reproduces the same allocation.
+    backend:
+        Blocked-BFS sampling backend (:mod:`repro.rrset.backends`):
+        ``"numpy"`` (reference, default), ``"numba"`` (JIT kernel,
+        optional extra — raises
+        :class:`~repro.errors.ConfigurationError` when not installed),
+        ``"auto"`` (numba if importable, else numpy with a one-time
+        warning), or a ready backend instance.  Backends produce
+        byte-identical samples, so the backend is **not** part of the
+        determinism contract — the same seed yields the same allocation
+        on every backend, and a checkpoint written under one backend
+        resumes under another.  Stats and provenance record the
+        *resolved* name.
     initial_pilot:
         RR-sets sampled per ad before the first ``θ_i`` is computed.
     min_rr_sets_per_ad / max_rr_sets_per_ad:
@@ -151,6 +164,20 @@ class TIRMAllocator(Allocator):
         incremental building block for time-bounded allocation slices.
     seed:
         Master RNG seed; per-ad samplers get independent child streams.
+
+    Examples
+    --------
+    Allocate the paper's Figure-1 gadget; stats record the resolved
+    RNG/backend contract that makes the run reproducible::
+
+        >>> from repro.algorithms.tirm import TIRMAllocator
+        >>> from repro.datasets.toy import figure1_problem
+        >>> allocator = TIRMAllocator(seed=0, max_rr_sets_per_ad=1_000)
+        >>> result = allocator.allocate(figure1_problem())
+        >>> result.algorithm, result.allocation.total_seeds() > 0
+        ('TIRM', True)
+        >>> result.stats["rng"], result.stats["backend"]
+        ('philox', 'numpy')
     """
 
     name = "TIRM"
@@ -165,6 +192,7 @@ class TIRMAllocator(Allocator):
         engine: str = "serial",
         rng: str = "philox",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        backend="numpy",
         initial_pilot: int = 1_000,
         min_rr_sets_per_ad: int = 500,
         max_rr_sets_per_ad: int = 200_000,
@@ -195,6 +223,11 @@ class TIRMAllocator(Allocator):
             raise ConfigurationError(f"rng must be one of {RNG_MODES}, got {rng!r}")
         if chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if not isinstance(backend, SamplingBackend) and backend not in BACKEND_MODES:
+            raise ConfigurationError(
+                f"backend must be one of {BACKEND_MODES} or a SamplingBackend "
+                f"instance, got {backend!r}"
+            )
         if min_rr_sets_per_ad < 1 or max_rr_sets_per_ad < min_rr_sets_per_ad:
             raise ConfigurationError(
                 "need 1 <= min_rr_sets_per_ad <= max_rr_sets_per_ad, got "
@@ -223,6 +256,7 @@ class TIRMAllocator(Allocator):
         self.engine = engine
         self.rng = rng
         self.chunk_size = int(chunk_size)
+        self.backend = backend
         self.initial_pilot = int(initial_pilot)
         self.min_rr_sets_per_ad = int(min_rr_sets_per_ad)
         self.max_rr_sets_per_ad = int(max_rr_sets_per_ad)
@@ -254,6 +288,13 @@ class TIRMAllocator(Allocator):
         budgets = problem.catalog.budgets()
         cpes = problem.catalog.cpes()
         allocation = Allocation(h, n)
+        # Resolve the sampling backend up front: "auto" commits to a
+        # substrate (and warns if it degrades) before any sampling, an
+        # unavailable explicit "numba" fails here with a clean
+        # ConfigurationError, and stats/provenance/checkpoints all
+        # record the *resolved* name.  Backends are byte-identical, so
+        # resolution never affects the allocation — only throughput.
+        self._backend_obj = resolve_backend(self.backend)
         checkpoint = None
         if self.resume_from is not None:
             checkpoint = TIRMCheckpoint.load(self.resume_from)
@@ -279,6 +320,7 @@ class TIRMAllocator(Allocator):
             max_workers=self.max_workers,
             rng=self.rng,
             chunk_size=self.chunk_size,
+            backend=self._backend_obj,
         )
         checkpoints_written = 0
         resumed_at = None
@@ -374,6 +416,7 @@ class TIRMAllocator(Allocator):
             chunk_size=self.chunk_size if self.rng == "philox" else None,
             sampler_mode=self.sampler_mode,
             engine=self.engine,
+            backend=engine.backend_name,
             seed=seed,
             stream_entropy=engine.stream_entropy(0),
         )
@@ -409,6 +452,7 @@ class TIRMAllocator(Allocator):
                 "engine": self.engine,
                 "rng": self.rng,
                 "chunk_size": self.chunk_size if self.rng == "philox" else None,
+                "backend": engine.backend_name,
                 "checkpoints_written": checkpoints_written,
                 "resumed_at_iteration": resumed_at,
                 "truncated": truncated,
@@ -422,12 +466,18 @@ class TIRMAllocator(Allocator):
         """The compatibility record stored in (and validated against)
         every checkpoint artifact: resuming under different allocator
         parameters or a different problem would silently converge to a
-        different allocation, so mismatches are refused up front."""
+        different allocation, so mismatches are refused up front.
+
+        ``backend`` is recorded as provenance but deliberately *not*
+        matched on resume — backends are byte-identical, so a numpy
+        checkpoint resumes under numba (and vice versa) unchanged.
+        """
         seed = int(self._seed) if isinstance(self._seed, (int, np.integer)) else None
         return {
             "algorithm": self.name,
             "rng": self.rng,
             "chunk_size": self.chunk_size if self.rng == "philox" else None,
+            "backend": self._backend_obj.name,
             "sampler_mode": self.sampler_mode,
             "select_rule": self.select_rule,
             "epsilon": self.epsilon,

@@ -2,6 +2,11 @@
 
 * :mod:`repro.rrset.sampler` — random RR-sets (reverse BFS with lazy edge
   coins) for a fixed ad's Eq.-(1) probabilities;
+* :mod:`repro.rrset.backends` — pluggable blocked-BFS backends behind
+  one shared RNG-owning driver: ``numpy`` (reference), ``numba`` (JIT
+  kernel, optional extra), ``auto`` — byte-identical by construction,
+  selected via ``backend=`` on the sampler/engine/allocator or the CLI
+  ``--backend``;
 * :mod:`repro.rrset.rrc` — RRC-sets: RR-sets with the extra per-node CTP
   coin flips of §5.2;
 * :mod:`repro.rrset.pool` — the flat CSR storage engine: contiguous
@@ -25,6 +30,15 @@
   (Proposition 1 / Lemma 2).
 """
 
+from repro.rrset.backends import (
+    BACKEND_MODES,
+    NumbaBackend,
+    NumpyBackend,
+    SamplingBackend,
+    available_backends,
+    numba_available,
+    resolve_backend,
+)
 from repro.rrset.checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
     TIRMCheckpoint,
@@ -63,6 +77,13 @@ __all__ = [
     "sample_rr_sets",
     "RRSetSampler",
     "StreamPlan",
+    "SamplingBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "BACKEND_MODES",
+    "available_backends",
+    "numba_available",
+    "resolve_backend",
     "sample_rrc_set",
     "sample_rrc_sets",
     "sample_rrc_sets_into",

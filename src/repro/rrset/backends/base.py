@@ -1,0 +1,184 @@
+"""The sampling-backend seam of the blocked RR-set sampler.
+
+The level-synchronous blocked BFS has two separable halves:
+
+* the **driver** (:func:`drive_blocked`) — batching, root draws, the
+  per-level coin draws, and the final pack into a ``(members, lengths)``
+  block.  The driver owns *every* RNG call, in a fixed order: one
+  ``Generator.integers`` per batch for the roots, then exactly one
+  ``Generator.random(total)`` per BFS level.  It is shared by all
+  backends;
+* the **level op** — given one level's frontier and its pre-drawn coin
+  block, decide which edges are live, dedup the newly reached
+  ``(set, node)`` pairs, and merge them into the sorted visited-key
+  array.  This is the hot loop, and the only part a backend implements.
+
+Because the driver is shared and draws all randomness itself, two
+backends given the same generator state consume the identical coin
+sequence and therefore produce **byte-identical** output — the
+determinism contract (``docs/rrset_engine.md``) is backend-invariant by
+construction, not by careful reimplementation.  A backend's level op
+must be a pure function of its inputs (no RNG, no state) that preserves
+the reference semantics pinned by ``tests/rrset/test_backends.py``.
+
+The level-op contract
+---------------------
+
+``level_op(owners, starts, degrees, in_sources, in_probs, coins,
+visited_keys, n) -> (new_owners, new_sources, new_visited_keys)``
+
+* ``owners[i]``/``starts[i]``/``degrees[i]`` — set id owning frontier
+  entry ``i`` and its in-CSR slot range ``[starts[i], starts[i] +
+  degrees[i])``;
+* ``coins`` — one uniform draw per examined in-edge, in frontier order
+  then CSR slot order (``coins.size == degrees.sum()``);
+* ``visited_keys`` — sorted, unique ``owner * n + node`` keys of every
+  pair already reached in this batch;
+* returns the *fresh* pairs in ascending key order plus the merged
+  (still sorted, unique) visited keys.  An edge is live iff
+  ``coins[k] < in_probs[slot]``; a pair is fresh iff its key is not in
+  ``visited_keys``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.rrset.pool import MEMBER_DTYPE
+
+#: RNG-block width of the level-synchronous batched BFS (one batch of
+#: roots BFS-ed together; part of neither the stream nor the backend
+#: contract — any batch size yields the same sets for the same rng).
+BLOCK_BATCH = 4_096
+
+
+class SamplingBackend(ABC):
+    """One implementation of the blocked-BFS level op.
+
+    Backends are interchangeable plug-ins behind
+    :class:`~repro.rrset.sampler.RRSetSampler`,
+    :class:`~repro.rrset.sharded.ShardedSamplingEngine` and
+    ``TIRMAllocator(backend=...)``: all of them produce byte-identical
+    samples for the same generator state (see the module docstring), so
+    switching backend never changes results — only throughput.
+    """
+
+    #: Stable identifier recorded in stats, provenance, and checkpoint
+    #: configs.  Because output is backend-invariant, the name is *not*
+    #: part of the determinism contract — a checkpoint written under one
+    #: backend resumes byte-identically under another.
+    name: str = "abstract"
+
+    @abstractmethod
+    def level_op(self, owners, starts, degrees, in_sources, in_probs,
+                 coins, visited_keys, n):
+        """Advance one BFS level (see the module docstring contract)."""
+
+    def warmup(self, graph) -> None:
+        """Pay any one-time setup cost (e.g. JIT compilation) up front.
+
+        Called with the target graph so compiled backends can specialize
+        on the real array dtypes.  The base implementation is a no-op.
+        """
+
+    def sample_flat(
+        self,
+        graph,
+        in_probs: np.ndarray,
+        rng: np.random.Generator,
+        count: int,
+        batch_size: int | None = None,
+        roots: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``count`` RR-sets as a packed ``(members, lengths)`` block,
+        drawing from ``rng`` — the backend-facing entry point the
+        sampler calls."""
+        return drive_blocked(
+            graph, in_probs, rng, count, self.level_op, batch_size, roots
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _empty_flat() -> tuple[np.ndarray, np.ndarray]:
+    return np.empty(0, dtype=MEMBER_DTYPE), np.empty(0, dtype=np.int64)
+
+
+def drive_blocked(
+    graph,
+    in_probs: np.ndarray,
+    rng: np.random.Generator,
+    count: int,
+    level_op,
+    batch_size: int | None = None,
+    roots: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared blocked-BFS driver: ``count`` RR-sets as a packed
+    ``(members, lengths)`` block, drawing from ``rng``.
+
+    Runs a reverse BFS over a whole batch of roots at once: each level
+    gathers the in-edge slot ranges of *every* frontier node across the
+    batch, draws all their coins in one ``Generator.random`` block, and
+    hands frontier + coins to ``level_op`` for the live-edge test and
+    the ``(set, node)`` dedup.  ``in_probs`` is the per-in-slot
+    probability array (canonical edge probabilities gathered through
+    ``graph.in_edge_ids``).  ``roots`` fixes the roots (tests and the
+    single-set helper); by default they are drawn from ``rng``.
+
+    The RNG call sequence is fixed here, independent of ``level_op``:
+    that is what makes every backend byte-identical for the same
+    generator state.
+    """
+    n = graph.num_nodes
+    if count == 0:
+        return _empty_flat()
+    if n == 0:
+        raise ValueError("cannot sample RR-sets from an empty graph")
+    if batch_size is None:
+        batch_size = BLOCK_BATCH
+    in_indptr = graph.in_indptr
+    in_sources = graph.in_sources
+    member_chunks: list[np.ndarray] = []
+    length_chunks: list[np.ndarray] = []
+    done = 0
+    while done < count:
+        batch = min(batch_size, count - done)
+        if roots is None:
+            batch_roots = rng.integers(0, n, size=batch)
+        else:
+            batch_roots = np.asarray(roots[done : done + batch], dtype=np.int64)
+        owners = np.arange(batch, dtype=np.int64)
+        # Visited (set, node) pairs as a sorted key array: memory and
+        # work scale with the members actually discovered, never with
+        # batch × num_nodes.  Owners are distinct here, so the root
+        # keys are already unique and sorted.
+        visited_keys = owners * n + batch_roots
+        frontier = batch_roots.astype(np.int64)
+        pair_owner = [owners]
+        pair_node = [frontier]
+        while frontier.size:
+            starts = in_indptr[frontier]
+            degrees = in_indptr[frontier + 1] - starts
+            total = int(degrees.sum())
+            if total == 0:
+                break
+            coins = rng.random(total)
+            own, src, visited_keys = level_op(
+                owners, starts, degrees, in_sources, in_probs, coins,
+                visited_keys, n,
+            )
+            if src.size == 0:
+                break
+            pair_owner.append(own)
+            pair_node.append(src)
+            owners, frontier = own, src
+        all_owner = np.concatenate(pair_owner)
+        all_node = np.concatenate(pair_node)
+        order = np.argsort(all_owner, kind="stable")
+        member_chunks.append(all_node[order].astype(MEMBER_DTYPE))
+        length_chunks.append(np.bincount(all_owner, minlength=batch))
+        done += batch
+    return np.concatenate(member_chunks), np.concatenate(length_chunks)

@@ -1,0 +1,55 @@
+"""The NumPy reference backend — the semantics every backend must match.
+
+This is the vectorized level op of the historical blocked sampler
+(``sampler._blocked_flat`` before the backend split), extracted
+verbatim: per-level fancy-indexed slot gather, one comparison
+against the pre-drawn coin block, and a sort-based ``(set, node)`` dedup
+(``np.unique`` + ``searchsorted`` + sorted-merge ``np.insert``).  It is
+pure NumPy — always available, no optional dependencies — and serves as
+the executable specification the byte-identity tests pin the JIT
+backends against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rrset.backends.base import SamplingBackend
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class NumpyBackend(SamplingBackend):
+    """Vectorized NumPy level op (the reference implementation)."""
+
+    name = "numpy"
+
+    def level_op(self, owners, starts, degrees, in_sources, in_probs,
+                 coins, visited_keys, n):
+        total = coins.size
+        ends = np.cumsum(degrees)
+        slots = (
+            np.repeat(starts - (ends - degrees), degrees)
+            + np.arange(total, dtype=np.int64)
+        )
+        edge_owner = np.repeat(owners, degrees)
+        live = coins < in_probs[slots]
+        src = in_sources[slots[live]]
+        own = edge_owner[live]
+        if src.size == 0:
+            return _EMPTY, _EMPTY, visited_keys
+        # Dedup (set, node) pairs reached on this level, then drop
+        # those already visited in their set.
+        key = own * n + src
+        ukey, first = np.unique(key, return_index=True)
+        pos = np.searchsorted(visited_keys, ukey)
+        pos_clipped = np.minimum(pos, visited_keys.size - 1)
+        fresh = visited_keys[pos_clipped] != ukey
+        if not fresh.any():
+            return _EMPTY, _EMPTY, visited_keys
+        first = first[fresh]
+        own, src = own[first], src[first]
+        # Sorted merge: both sides are sorted and `pos` already holds
+        # the insertion points, so this is O(V), no re-sort.
+        visited_keys = np.insert(visited_keys, pos[fresh], ukey[fresh])
+        return own, src, visited_keys

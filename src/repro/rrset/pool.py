@@ -183,6 +183,25 @@ class RRSetPool:
     ``add_flat`` (samplers write straight into the pool) and zero-copy
     ``prefix_view`` / ``first_k_sets`` accessors for O(pilot) OPT
     estimation.
+
+    Examples
+    --------
+    Three sets over five nodes; node 2 appears in two of them, and
+    removing the sets it covers updates the eager coverage counters::
+
+        >>> import numpy as np
+        >>> from repro.rrset import RRSetPool
+        >>> pool = RRSetPool(num_nodes=5)
+        >>> pool.add_sets([[0, 2], [2, 3], [4]])   # -> the new set ids
+        [0, 1, 2]
+        >>> pool.num_total, pool.num_alive
+        (3, 3)
+        >>> int(pool.coverage_of(2))
+        2
+        >>> pool.remove_covered(2)      # kill the sets containing node 2
+        2
+        >>> pool.num_alive, int(pool.coverage_of(3))
+        (1, 0)
     """
 
     def __init__(self, num_nodes: int) -> None:

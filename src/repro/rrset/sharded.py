@@ -62,6 +62,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DirectedGraph
+from repro.rrset.backends import resolve_backend
 from repro.rrset.pool import RRSetPool
 from repro.rrset.sampler import (
     DEFAULT_CHUNK_SIZE,
@@ -81,7 +82,7 @@ _ENGINE_IDS = itertools.count()
 
 #: Parent-side payload registry, inherited by forked workers.  Maps
 #: engine id -> (graph, per-ad probability rows, per-ad entropies,
-#: chunk size).
+#: chunk size, resolved sampling backend).
 _FORK_PAYLOADS: dict[int, tuple] = {}
 
 #: Worker-side sampler cache, keyed by (engine id, ad).  Samplers are
@@ -97,10 +98,10 @@ def _worker_sample_chunk(engine_id: int, ad: int, mode: str, chunk_index: int):
     slices out the requested subrange and caches partial tail blocks, so
     a chunk is computed at most once per engine lifetime."""
     key = (engine_id, ad)
-    graph, probs_per_ad, entropies, chunk_size = _FORK_PAYLOADS[engine_id]
+    graph, probs_per_ad, entropies, chunk_size, backend = _FORK_PAYLOADS[engine_id]
     sampler = _WORKER_SAMPLERS.get(key)
     if sampler is None:
-        sampler = RRSetSampler(graph, probs_per_ad[ad], seed=0)
+        sampler = RRSetSampler(graph, probs_per_ad[ad], seed=0, backend=backend)
         _WORKER_SAMPLERS[key] = sampler
     plan = StreamPlan(entropies[ad], ad, chunk_size)
     members, lengths = sampler.sample_chunk_block(plan, chunk_index, mode=mode)
@@ -156,6 +157,29 @@ class ShardedSamplingEngine:
         Set-index chunk width of the counter-based streams.  Part of the
         determinism contract — resampling with a different chunk size
         yields different (equally valid) sets.
+    backend:
+        Blocked-BFS backend (:mod:`repro.rrset.backends`): ``"numpy"``
+        (reference, default), ``"numba"`` (JIT kernel), ``"auto"``, or
+        a :class:`~repro.rrset.backends.SamplingBackend` instance.
+        Resolved once here; forked workers inherit the resolved backend
+        with the payload.  **Not** part of the determinism contract —
+        every backend yields byte-identical shards.
+
+    Examples
+    --------
+    Two advertisers, ten RR-sets each, served serially in-process::
+
+        >>> from repro.graph.generators import erdos_renyi
+        >>> from repro.graph.probabilities import constant_probabilities
+        >>> from repro.rrset import ShardedSamplingEngine
+        >>> graph = erdos_renyi(40, 0.1, seed=2)
+        >>> probs = constant_probabilities(graph, 0.1)
+        >>> with ShardedSamplingEngine(
+        ...     graph, [probs, probs], seeds=11, chunk_size=8
+        ... ) as engine:
+        ...     engine.ensure({0: 10, 1: 10})   # grow shards to 10 sets
+        ...     engine.total_sets()
+        20
     """
 
     def __init__(
@@ -169,6 +193,7 @@ class ShardedSamplingEngine:
         max_workers: int | None = None,
         rng: str = "philox",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        backend="numpy",
     ) -> None:
         if mode not in SAMPLER_MODES:
             raise ConfigurationError(
@@ -192,6 +217,11 @@ class ShardedSamplingEngine:
         self.engine = engine
         self.rng = rng
         self.chunk_size = int(chunk_size)
+        # Resolve once, up front: "auto" picks its substrate here (and
+        # warns here if it degrades), workers inherit the *resolved*
+        # backend via the fork payload, and provenance records its name
+        # (`backend_name`, mirroring RRSetSampler.backend/.backend_name).
+        self.backend = resolve_backend(backend)
         h = len(probs_per_ad)
         if isinstance(seeds, (list, tuple)) and len(seeds) != h:
             raise ConfigurationError(
@@ -209,7 +239,8 @@ class ShardedSamplingEngine:
             ]
             # Chunk streams come from the plans; the sampler seed is inert.
             self._samplers = [
-                RRSetSampler(graph, probs_per_ad[ad], seed=0) for ad in range(h)
+                RRSetSampler(graph, probs_per_ad[ad], seed=0, backend=self.backend)
+                for ad in range(h)
             ]
         else:
             if isinstance(seeds, (list, tuple)):
@@ -219,7 +250,10 @@ class ShardedSamplingEngine:
             self._entropies = None
             self._plans = None
             self._samplers = [
-                RRSetSampler(graph, probs_per_ad[ad], seed=per_ad_seeds[ad])
+                RRSetSampler(
+                    graph, probs_per_ad[ad], seed=per_ad_seeds[ad],
+                    backend=self.backend,
+                )
                 for ad in range(h)
             ]
         self._shards = [RRSetPool(graph.num_nodes) for _ in range(h)]
@@ -235,7 +269,7 @@ class ShardedSamplingEngine:
         self._resources: dict = {"executor": None, "payload_key": None}
         if engine == "process" and rng == "philox":
             _FORK_PAYLOADS[self._engine_id] = (
-                graph, probs_per_ad, entropies, self.chunk_size,
+                graph, probs_per_ad, entropies, self.chunk_size, self.backend,
             )
             self._resources["payload_key"] = self._engine_id
         try:
@@ -268,6 +302,12 @@ class ShardedSamplingEngine:
     def num_ads(self) -> int:
         """Number of shards ``h``."""
         return len(self._shards)
+
+    @property
+    def backend_name(self) -> str:
+        """The resolved backend's name (stats/provenance string; the
+        backend *instance* is ``self.backend``)."""
+        return self.backend.name
 
     def shard(self, ad: int) -> RRSetPool:
         """The advertiser's RR-set pool shard."""
@@ -492,5 +532,6 @@ class ShardedSamplingEngine:
         return (
             f"{type(self).__name__}(h={self.num_ads}, mode={self.mode!r}, "
             f"engine={self.engine!r}, rng={self.rng!r}, "
-            f"chunk_size={self.chunk_size}, total_sets={self.total_sets()})"
+            f"chunk_size={self.chunk_size}, backend={self.backend_name!r}, "
+            f"total_sets={self.total_sets()})"
         )

@@ -82,6 +82,79 @@ def test_parser_defaults_to_philox_streams():
     assert args.chunk_size == 128
 
 
+def test_allocate_backend_flag(capsys):
+    code = main([
+        "allocate", "figure1", "--algorithm", "tirm",
+        "--eval-runs", "50", "--max-rr-sets", "1000",
+        "--backend", "numpy",
+    ])
+    assert code == 0
+    assert "TIRM on figure1" in capsys.readouterr().out
+
+
+def test_parser_defaults_to_numpy_backend():
+    args = build_parser().parse_args(["allocate", "figure1"])
+    assert args.backend == "numpy"
+    args = build_parser().parse_args(
+        ["allocate", "figure1", "--backend", "auto"]
+    )
+    assert args.backend == "auto"
+
+
+def test_allocate_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        main(["allocate", "figure1", "--backend", "cuda"])
+
+
+def test_backend_numba_unavailable_fails_cleanly(capsys, monkeypatch):
+    """Explicit --backend numba without the optional extra: a one-line
+    ``error:`` on stderr and exit code 2, never a traceback."""
+    from repro.rrset import backends as backends_pkg
+    from repro.rrset.backends import numba_backend as numba_module
+
+    monkeypatch.setattr(numba_module, "_COMPILED", None)
+    monkeypatch.setattr(numba_module, "numba_available", lambda: False)
+    monkeypatch.setattr(backends_pkg, "numba_available", lambda: False)
+    code = main([
+        "allocate", "figure1", "--algorithm", "tirm",
+        "--eval-runs", "50", "--max-rr-sets", "1000",
+        "--backend", "numba",
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "numba" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_backend_auto_degrades_gracefully(capsys, monkeypatch):
+    """--backend auto without numba warns once and still allocates."""
+    import warnings
+
+    from repro.rrset import backends as backends_pkg
+    from repro.rrset.backends import numba_backend as numba_module
+
+    monkeypatch.setattr(numba_module, "_COMPILED", None)
+    monkeypatch.setattr(numba_module, "numba_available", lambda: False)
+    monkeypatch.setattr(backends_pkg, "numba_available", lambda: False)
+    monkeypatch.setattr(backends_pkg, "_WARNED_AUTO_FALLBACK", False)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        code = main([
+            "allocate", "figure1", "--algorithm", "tirm",
+            "--eval-runs", "50", "--max-rr-sets", "1000",
+            "--backend", "auto",
+        ])
+    assert code == 0
+    assert "TIRM on figure1" in capsys.readouterr().out
+    with warnings.catch_warnings():  # the fallback warning fired once
+        warnings.simplefilter("error", RuntimeWarning)
+        assert main([
+            "allocate", "figure1", "--algorithm", "tirm",
+            "--eval-runs", "50", "--max-rr-sets", "1000",
+            "--backend", "auto",
+        ]) == 0
+
+
 def test_bounds_on_figure1(capsys):
     assert main(["bounds", "figure1", "--rr-sets", "1500"]) == 0
     out = capsys.readouterr().out

@@ -249,19 +249,26 @@ class TestRequestSplitInvariance:
 
 class TestWorkerCountInvariance:
     """The acceptance matrix: byte-identical pools for workers in
-    {1, 2, 4} × chunk_size in {1, 7, 64}, on both sampler modes."""
+    {1, 2, 4} × chunk_size in {1, 7, 64}, on both sampler modes.
+
+    The matrix honours ``pytest --backend``: the CI numba leg re-runs it
+    with both engines on the JIT backend (backends are byte-identical,
+    so the pinned fingerprints are the same either way —
+    ``tests/rrset/test_backends.py`` pins the cross-backend direction).
+    """
 
     @pytest.mark.parametrize("workers", [1, 2, 4])
     @pytest.mark.parametrize("chunk_size", [1, 7, 64])
     @pytest.mark.parametrize("mode", ["scalar", "blocked"])
-    def test_pools_byte_identical(self, mode, chunk_size, workers):
+    def test_pools_byte_identical(self, mode, chunk_size, workers, rrset_backend):
         problem = _problem(4, num_ads=2)
         with ShardedSamplingEngine(
             problem.graph, _probs(problem), seeds=8, mode=mode,
-            engine="serial", chunk_size=chunk_size,
+            engine="serial", chunk_size=chunk_size, backend=rrset_backend,
         ) as serial, ShardedSamplingEngine(
             problem.graph, _probs(problem), seeds=8, mode=mode,
             engine="process", max_workers=workers, chunk_size=chunk_size,
+            backend=rrset_backend,
         ) as process:
             for requests in ({0: 70, 1: 40}, {0: 33}, {1: 5}):
                 serial.sample(requests)
