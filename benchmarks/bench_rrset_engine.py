@@ -24,11 +24,14 @@ stream — byte-equality asserted, speedup reported; see
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import time
 
 import numpy as np
 
+from repro.algorithms.tirm import TIRMAllocator
 from repro.datasets.synthetic import dblp_like
 from repro.evaluation.reporting import format_table
 from repro.rrset.backends import NumbaBackend, NumpyBackend, numba_available
@@ -53,9 +56,17 @@ GROWTH_CHUNK = 512
 #: Backend-comparison section: blocked sampling, numpy vs numba.
 BACKEND_THETA = 20_000
 BACKEND_SCALE = 0.003
+#: Transport-comparison section: pickle vs shared-memory descriptors.
+TRANSPORT_THETA = 8_000
+#: Prefetch section: TIRM with speculative θ-growth prefetch on vs off.
+PREFETCH_RR_CAP = 6_000
+#: Default artifact path for ``--json`` (see ``write_json_report``).
+JSON_REPORT = os.path.join(os.path.dirname(__file__), "BENCH_PR6.json")
 
 
-def run_engine_cycle(graph, probs, *, mode: str, seed: int = 0) -> dict:
+def run_engine_cycle(
+    graph, probs, *, mode: str, seed: int = 0, theta: int = THETA
+) -> dict:
     """One sample→index→cover→remove cycle; returns phase timings."""
     n = graph.num_nodes
     sampler = RRSetSampler(graph, probs, seed=seed)
@@ -63,9 +74,9 @@ def run_engine_cycle(graph, probs, *, mode: str, seed: int = 0) -> dict:
 
     t0 = time.perf_counter()
     if mode == "blocked":
-        sampler.sample_blocked_into(pool, THETA)
+        sampler.sample_blocked_into(pool, theta)
     else:
-        sampler.sample_into(pool, THETA)
+        sampler.sample_into(pool, theta)
     t1 = time.perf_counter()
 
     pilot = pool.prefix_view(PILOT)
@@ -91,13 +102,13 @@ def run_engine_cycle(graph, probs, *, mode: str, seed: int = 0) -> dict:
     }
 
 
-def _rows():
+def _rows(theta: int = THETA):
     rows = []
     for label, scale in SCALES:
         problem = dblp_like(scale=scale, num_ads=1, seed=13)
         probs = problem.ad_edge_probabilities(0)
         for mode in ("scalar", "blocked"):
-            r = run_engine_cycle(problem.graph, probs, mode=mode)
+            r = run_engine_cycle(problem.graph, probs, mode=mode, theta=theta)
             rows.append(
                 [
                     label,
@@ -115,14 +126,15 @@ def _rows():
 
 def run_sharded_pilot(
     problem, *, engine: str, mode: str = "blocked", theta: int = SHARDED_THETA,
-    seed: int = 0,
+    seed: int = 0, transport: str = "auto",
 ) -> tuple[float, list[tuple[int, np.ndarray, np.ndarray]]]:
     """One TIRM-style pilot phase (θ sets for every ad) through the
     sharded engine; returns the wall-clock and per-shard fingerprints."""
     h = problem.num_ads
     probs = [problem.ad_edge_probabilities(ad) for ad in range(h)]
     with ShardedSamplingEngine(
-        problem.graph, probs, seeds=seed, mode=mode, engine=engine
+        problem.graph, probs, seeds=seed, mode=mode, engine=engine,
+        transport=transport,
     ) as eng:
         # Warm the worker pool so fork/startup cost is not charged to the
         # timed pilot (the executor is created lazily on first sample).
@@ -245,6 +257,115 @@ def _backend_rows(theta: int = BACKEND_THETA, scale: float = BACKEND_SCALE):
     ]
 
 
+def _transport_rows(theta: int = TRANSPORT_THETA, scale: float = SHARDED_SCALE):
+    """Pickle vs shared-memory transport on the process engine: the
+    descriptor path must produce byte-identical shards (asserted) — it
+    only changes how the same bytes cross the process boundary."""
+    problem = dblp_like(scale=scale, num_ads=SHARDED_ADS, seed=13)
+    t_pickle, shards_pickle = run_sharded_pilot(
+        problem, engine="process", theta=theta, transport="pickle"
+    )
+    t_shm, shards_shm = run_sharded_pilot(
+        problem, engine="process", theta=theta, transport="shm"
+    )
+    for (ns, ms, ps), (nh, mh, ph) in zip(shards_pickle, shards_shm):
+        assert ns == nh
+        assert np.array_equal(ms, mh)
+        assert np.array_equal(ps, ph)
+    speedup = t_pickle / t_shm if t_shm > 0 else float("inf")
+    return [
+        ["transport", problem.num_nodes, "pickle", SHARDED_ADS, theta,
+         t_pickle, 1.0],
+        ["transport", problem.num_nodes, "shm", SHARDED_ADS, theta,
+         t_shm, speedup],
+    ]
+
+
+def _prefetch_rows(max_rr_sets: int = PREFETCH_RR_CAP, scale: float = SHARDED_SCALE):
+    """TIRM with speculative θ-growth prefetch on vs off: the allocation
+    must be identical (asserted) — prefetch only overlaps next-iteration
+    sampling with the greedy phase, it never changes which sets exist."""
+    problem = dblp_like(scale=scale, num_ads=3, seed=13)
+
+    def run(prefetch: bool) -> tuple[float, object]:
+        allocator = TIRMAllocator(
+            seed=0, epsilon=0.3, max_rr_sets_per_ad=max_rr_sets,
+            engine="process", chunk_size=512, prefetch=prefetch,
+        )
+        t0 = time.perf_counter()
+        result = allocator.allocate(problem)
+        return time.perf_counter() - t0, result
+
+    t_off, off = run(False)
+    t_on, on = run(True)
+    assert on.allocation == off.allocation
+    assert on.stats["theta_per_ad"] == off.stats["theta_per_ad"]
+    speedup = t_off / t_on if t_on > 0 else float("inf")
+    return [
+        ["tirm-prefetch", problem.num_nodes, "off", 3, max_rr_sets, t_off, 1.0],
+        ["tirm-prefetch", problem.num_nodes, "on", 3, max_rr_sets, t_on, speedup],
+    ]
+
+
+_SECTION_COLUMNS = ("phase", "n", "variant", "ads", "theta", "wall_s", "speedup")
+
+
+def _as_records(rows):
+    return [dict(zip(_SECTION_COLUMNS, row)) for row in rows]
+
+
+def write_json_report(
+    path: str = JSON_REPORT,
+    *,
+    cycle_theta: int = THETA,
+    sharded_theta: int = SHARDED_THETA,
+    growth_theta: int = GROWTH_THETA,
+    transport_theta: int = TRANSPORT_THETA,
+    prefetch_rr_cap: int = PREFETCH_RR_CAP,
+) -> dict:
+    """Run every section and write a machine-readable report.
+
+    Byte-equality is asserted inside each section builder while it runs,
+    so a written report certifies that every variant pair it times was
+    also bit-identical.  Speedups are *recorded*, never asserted — on a
+    single-core runner they measure scheduler noise, not the engine.
+    """
+    cycle = []
+    for label, scale in SCALES:
+        problem = dblp_like(scale=scale, num_ads=1, seed=13)
+        probs = problem.ad_edge_probabilities(0)
+        for mode in ("scalar", "blocked"):
+            r = run_engine_cycle(
+                problem.graph, probs, mode=mode, theta=cycle_theta
+            )
+            cycle.append(
+                {"graph": label, "n": problem.num_nodes, "mode": mode, **r}
+            )
+    report = {
+        "benchmark": "rrset_engine",
+        "cpu_count": os.cpu_count() or 1,
+        "numba": numba_available(),
+        "thetas": {
+            "engine_cycle": cycle_theta,
+            "sharded_pilot": sharded_theta,
+            "growth_topup": growth_theta,
+            "transport": transport_theta,
+            "prefetch_rr_cap": prefetch_rr_cap,
+        },
+        "sections": {
+            "engine_cycle": cycle,
+            "sharded_pilot": _as_records(_sharded_rows(theta=sharded_theta)),
+            "growth_topup": _as_records(_growth_rows(theta=growth_theta)),
+            "transport": _as_records(_transport_rows(theta=transport_theta)),
+            "prefetch": _as_records(_prefetch_rows(max_rr_sets=prefetch_rr_cap)),
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
 def test_rrset_engine_cycle(run_once):
     rows = run_once(_rows)
     print()
@@ -333,7 +454,82 @@ def test_backend_comparison_smoke(run_once):
     )
 
 
+def test_transport_comparison_smoke(run_once):
+    """Pickle vs shm transport must agree set-for-set (asserted inside
+    ``_transport_rows``); the speedup is reported, never asserted — at
+    smoke θ on a single-core runner it measures noise."""
+    rows = run_once(_transport_rows, theta=1_000)
+    print()
+    print(
+        format_table(
+            ["phase", "n", "transport", "ads", "theta/ad", "wall (s)", "speedup"],
+            rows,
+            title=f"Worker transport: pickle vs shared-memory descriptors "
+                  f"({os.cpu_count() or 1} cores visible)",
+        )
+    )
+
+
+def test_prefetch_smoke(run_once):
+    """TIRM prefetch on vs off must allocate identically (asserted in
+    ``_prefetch_rows``); the overlap win is reported, never asserted."""
+    rows = run_once(_prefetch_rows, max_rr_sets=1_500)
+    print()
+    print(
+        format_table(
+            ["phase", "n", "prefetch", "ads", "rr cap", "wall (s)", "speedup"],
+            rows,
+            title=f"TIRM speculative θ-growth prefetch "
+                  f"({os.cpu_count() or 1} cores visible)",
+        )
+    )
+
+
+def test_json_report_smoke(tmp_path):
+    """``--json`` artifact: every section present, rows well-formed."""
+    path = str(tmp_path / "BENCH_PR6.json")
+    report = write_json_report(
+        path,
+        cycle_theta=500,
+        sharded_theta=300,
+        growth_theta=1_000,
+        transport_theta=300,
+        prefetch_rr_cap=1_000,
+    )
+    with open(path) as handle:
+        on_disk = json.load(handle)
+    assert on_disk == report
+    sections = on_disk["sections"]
+    assert set(sections) == {
+        "engine_cycle", "sharded_pilot", "growth_topup", "transport",
+        "prefetch",
+    }
+    assert {row["variant"] for row in sections["transport"]} == {"pickle", "shm"}
+    assert {row["variant"] for row in sections["prefetch"]} == {"on", "off"}
+    assert all(row["wall_s"] >= 0 for row in sections["transport"])
+    assert all(r["total"] > 0 for r in sections["engine_cycle"])
+
+
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", nargs="?", const=JSON_REPORT, default=None, metavar="PATH",
+        help=f"write a machine-readable report (default: {JSON_REPORT})",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.json:
+        report = write_json_report(cli_args.json)
+        for name, rows in report["sections"].items():
+            if name == "engine_cycle":
+                continue
+            for row in rows:
+                print(
+                    f"{row['phase']:15s} n={row['n']:7d} "
+                    f"{row['variant']:8s} wall={row['wall_s']:7.3f}s "
+                    f"speedup={row['speedup']:5.2f}x"
+                )
+        print(f"report written to {cli_args.json}")
+        raise SystemExit(0)
     for row in _rows():
         label, n, mode, si, cov, rem, tot, mem = row
         print(
@@ -365,4 +561,16 @@ if __name__ == "__main__":
             "backend-blocked: numba not installed — JIT comparison skipped "
             "(pip install numba; byte-equality of the kernel is still "
             "covered by the smoke test and tests/rrset/test_backends.py)"
+        )
+    for row in _transport_rows():
+        label, n, transport, ads, theta, wall, speedup = row
+        print(
+            f"{label:13s} n={n:7d} {transport:8s} h={ads} theta={theta} "
+            f"wall={wall:7.3f}s speedup={speedup:5.2f}x"
+        )
+    for row in _prefetch_rows():
+        label, n, prefetch, ads, cap, wall, speedup = row
+        print(
+            f"{label:13s} n={n:7d} {prefetch:8s} h={ads} rr_cap={cap} "
+            f"wall={wall:7.3f}s speedup={speedup:5.2f}x"
         )

@@ -44,7 +44,13 @@ from repro.rrset.backends import BACKEND_MODES, SamplingBackend, resolve_backend
 from repro.rrset.checkpoint import TIRMCheckpoint, save_checkpoint
 from repro.rrset.pool import RRSetPool
 from repro.rrset.sampler import DEFAULT_CHUNK_SIZE, RRSetSampler
-from repro.rrset.sharded import ENGINE_MODES, RNG_MODES, ShardedSamplingEngine
+from repro.rrset.sharded import (
+    ENGINE_MODES,
+    RNG_MODES,
+    START_METHODS,
+    TRANSPORT_MODES,
+    ShardedSamplingEngine,
+)
 from repro.rrset.tim import greedy_max_coverage, required_rr_sets
 from repro.utils.rng import spawn_generators
 from repro.utils.timing import Timer
@@ -138,6 +144,27 @@ class TIRMAllocator(Allocator):
         on every backend, and a checkpoint written under one backend
         resumes under another.  Stats and provenance record the
         *resolved* name.
+    transport:
+        Worker-result transport for ``engine="process"``: ``"shm"``
+        (workers publish packed chunk blocks into shared-memory
+        segments; the parent splices zero-copy), ``"pickle"`` (blocks
+        travel over the result pipe), or ``"auto"`` (default: shm where
+        available).  Like ``backend``, **not** part of the determinism
+        contract — both transports produce byte-identical pools and
+        allocations, and checkpoints resume across transports.  Stats,
+        provenance and checkpoints record the *resolved* name.
+    start_method:
+        Worker start method for ``engine="process"``: ``"fork"``,
+        ``"spawn"``, or ``"auto"`` (default: fork where available, else
+        spawn via a shared-memory payload arena).  Not part of the
+        determinism contract.
+    prefetch:
+        When true (default), issue speculative next-θ prefetch hints to
+        the engine after each growth event, so RR-set sampling overlaps
+        greedy selection under ``engine="process"``.  Purely a pipeline
+        knob: chunks are pure functions of their stream address, so the
+        allocation is byte-identical with prefetch on or off (no-op for
+        ``engine="serial"`` and ``rng="legacy"``).
     initial_pilot:
         RR-sets sampled per ad before the first ``θ_i`` is computed.
     min_rr_sets_per_ad / max_rr_sets_per_ad:
@@ -193,6 +220,9 @@ class TIRMAllocator(Allocator):
         rng: str = "philox",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         backend="numpy",
+        transport: str = "auto",
+        start_method: str = "auto",
+        prefetch: bool = True,
         initial_pilot: int = 1_000,
         min_rr_sets_per_ad: int = 500,
         max_rr_sets_per_ad: int = 200_000,
@@ -228,6 +258,14 @@ class TIRMAllocator(Allocator):
                 f"backend must be one of {BACKEND_MODES} or a SamplingBackend "
                 f"instance, got {backend!r}"
             )
+        if transport not in TRANSPORT_MODES:
+            raise ConfigurationError(
+                f"transport must be one of {TRANSPORT_MODES}, got {transport!r}"
+            )
+        if start_method not in START_METHODS:
+            raise ConfigurationError(
+                f"start_method must be one of {START_METHODS}, got {start_method!r}"
+            )
         if min_rr_sets_per_ad < 1 or max_rr_sets_per_ad < min_rr_sets_per_ad:
             raise ConfigurationError(
                 "need 1 <= min_rr_sets_per_ad <= max_rr_sets_per_ad, got "
@@ -257,6 +295,9 @@ class TIRMAllocator(Allocator):
         self.rng = rng
         self.chunk_size = int(chunk_size)
         self.backend = backend
+        self.transport = transport
+        self.start_method = start_method
+        self.prefetch = bool(prefetch)
         self.initial_pilot = int(initial_pilot)
         self.min_rr_sets_per_ad = int(min_rr_sets_per_ad)
         self.max_rr_sets_per_ad = int(max_rr_sets_per_ad)
@@ -295,6 +336,13 @@ class TIRMAllocator(Allocator):
         # record the *resolved* name.  Backends are byte-identical, so
         # resolution never affects the allocation — only throughput.
         self._backend_obj = resolve_backend(self.backend)
+        # Same story for the transport: resolve "auto" up front so
+        # stats/provenance/checkpoints record the substrate actually
+        # used (and an unavailable explicit 'shm' fails cleanly here).
+        # Like the backend, it is recorded but never matched on resume.
+        self._transport_resolved = ShardedSamplingEngine.resolve_transport(
+            self.transport
+        )
         checkpoint = None
         if self.resume_from is not None:
             checkpoint = TIRMCheckpoint.load(self.resume_from)
@@ -321,6 +369,8 @@ class TIRMAllocator(Allocator):
             rng=self.rng,
             chunk_size=self.chunk_size,
             backend=self._backend_obj,
+            transport=self.transport,
+            start_method=self.start_method,
         )
         checkpoints_written = 0
         resumed_at = None
@@ -417,6 +467,7 @@ class TIRMAllocator(Allocator):
             sampler_mode=self.sampler_mode,
             engine=self.engine,
             backend=engine.backend_name,
+            transport=engine.transport,
             seed=seed,
             stream_entropy=engine.stream_entropy(0),
         )
@@ -453,6 +504,9 @@ class TIRMAllocator(Allocator):
                 "rng": self.rng,
                 "chunk_size": self.chunk_size if self.rng == "philox" else None,
                 "backend": engine.backend_name,
+                "transport": engine.transport,
+                "start_method": engine.start_method,
+                "prefetch": self.prefetch,
                 "checkpoints_written": checkpoints_written,
                 "resumed_at_iteration": resumed_at,
                 "truncated": truncated,
@@ -468,9 +522,10 @@ class TIRMAllocator(Allocator):
         parameters or a different problem would silently converge to a
         different allocation, so mismatches are refused up front.
 
-        ``backend`` is recorded as provenance but deliberately *not*
-        matched on resume — backends are byte-identical, so a numpy
-        checkpoint resumes under numba (and vice versa) unchanged.
+        ``backend`` and ``transport`` are recorded as provenance but
+        deliberately *not* matched on resume — both are byte-identical
+        substrates, so a numpy/pickle checkpoint resumes under
+        numba/shm (and vice versa) unchanged.
         """
         seed = int(self._seed) if isinstance(self._seed, (int, np.integer)) else None
         return {
@@ -478,6 +533,7 @@ class TIRMAllocator(Allocator):
             "rng": self.rng,
             "chunk_size": self.chunk_size if self.rng == "philox" else None,
             "backend": self._backend_obj.name,
+            "transport": self._transport_resolved,
             "sampler_mode": self.sampler_mode,
             "select_rule": self.select_rule,
             "epsilon": self.epsilon,
@@ -619,6 +675,23 @@ class TIRMAllocator(Allocator):
         if not targets:
             return
         engine.ensure(targets)
+        if self.prefetch:
+            # Speculative pipeline hint: the *next* growth event for this
+            # ad will raise s_i by at least 1, so θ(s_i + 1) lower-bounds
+            # the next θ target.  Submitting those chunks now lets the
+            # worker pool sample them while the parent runs Algorithm 4
+            # and the greedy selection below — legal because chunks are
+            # pure functions of their stream address, so the speculative
+            # sets are byte-identical whether or not they are needed
+            # (never-consumed chunks are discarded at engine close).
+            hints: dict[int, int] = {}
+            for ad in sorted(targets):
+                state = states[ad]
+                hint = self._theta_for(problem, state, state.seed_size_estimate + 1)
+                if hint > state.theta:
+                    hints[ad] = hint
+            if hints:
+                engine.prefetch(hints)
         for ad in sorted(targets):
             state = states[ad]
             # Algorithm 4: walk existing seeds in selection order, credit

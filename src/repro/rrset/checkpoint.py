@@ -29,12 +29,14 @@ states (Mersenne scalar + PCG64 blocked) so post-resume top-ups continue
 bit-identically.
 
 The compatibility config also records the *resolved* sampling
-``backend`` (``repro.rrset.backends``) as provenance, but deliberately
-does **not** match on it at resume time: backends are byte-identical
-for the same streams, so a checkpoint written under the numpy backend
-resumes under the numba backend (and vice versa) with an unchanged
-allocation — only the RNG contract (``rng``, ``chunk_size``, seed,
-stream entropies) pins the samples.
+``backend`` (``repro.rrset.backends``) and worker ``transport``
+(``repro.rrset.sharded``) as provenance, but deliberately does **not**
+match on either at resume time: backends and transports are
+byte-identical for the same streams, so a checkpoint written under the
+numpy backend over the pickle transport resumes under the numba backend
+over the shm transport (and vice versa) with an unchanged allocation —
+only the RNG contract (``rng``, ``chunk_size``, seed, stream entropies)
+pins the samples.
 
 Artifact layout (``format_version`` 1)
 --------------------------------------
@@ -78,9 +80,10 @@ CHECKPOINT_FORMAT_VERSION = 1
 
 #: Config keys that must match exactly between the checkpointed run and
 #: the resuming allocator/problem — any drift would silently change the
-#: allocation the resumed run converges to.  ``backend`` is stored but
-#: intentionally absent here: backends are byte-identical, so
-#: cross-backend resume is sound (and pinned by tests).
+#: allocation the resumed run converges to.  ``backend`` and
+#: ``transport`` are stored but intentionally absent here: both are
+#: byte-identical substrates, so cross-backend and cross-transport
+#: resume is sound (and pinned by tests).
 _MATCH_KEYS = (
     "algorithm",
     "rng",

@@ -257,9 +257,61 @@ class RRSetPool:
 
     def add_flat(self, members: np.ndarray, lengths: np.ndarray) -> None:
         """Append ``len(lengths)`` sets whose members are concatenated in
-        ``members``.  This is the samplers' zero-copy entry point."""
-        members = np.asarray(members).ravel().astype(MEMBER_DTYPE, copy=False)
+        ``members``.  This is the samplers' bulk entry point.
+
+        Exactly one copy: members land in the pool's growable buffer via
+        a single slice assignment, which casts integer inputs in place —
+        no ``astype`` staging copy.  (Non-integer inputs pay their own
+        explicit conversion first — a legacy convenience path.)
+        """
+        members = np.asarray(members).ravel()
+        if members.size and not np.issubdtype(members.dtype, np.integer):
+            members = members.astype(MEMBER_DTYPE)
         lengths = np.asarray(lengths, dtype=np.int64).ravel()
+        self._validate_flat(members, lengths)
+        self._append_flat(members, lengths)
+
+    def add_flat_from_buffer(
+        self,
+        buffer,
+        *,
+        num_sets: int,
+        num_members: int,
+        lengths_offset: int = 0,
+        members_offset: int | None = None,
+    ) -> None:
+        """Append ``num_sets`` sets straight out of an external buffer —
+        e.g. a ``multiprocessing.shared_memory`` segment — with exactly
+        one copy.
+
+        The region follows the engine's packed-block layout: ``num_sets``
+        ``int64`` lengths starting at byte ``lengths_offset``, and
+        ``num_members`` ``int32`` members starting at ``members_offset``
+        (default: immediately after the lengths).  Validation and the
+        append run over zero-copy views of the buffer; the single copy
+        is the write into the pool's own growable arrays, so the caller
+        may release/unlink the buffer as soon as this returns — the pool
+        never keeps a reference to it (``memory_bytes`` stays exact).
+        """
+        num_sets, num_members = int(num_sets), int(num_members)
+        if num_sets < 0 or num_members < 0:
+            raise ValueError(
+                f"num_sets and num_members must be >= 0, got "
+                f"{num_sets} / {num_members}"
+            )
+        if members_offset is None:
+            members_offset = lengths_offset + num_sets * 8
+        lengths = np.frombuffer(
+            buffer, dtype=np.int64, count=num_sets, offset=int(lengths_offset)
+        )
+        members = np.frombuffer(
+            buffer, dtype=MEMBER_DTYPE, count=num_members,
+            offset=int(members_offset),
+        )
+        self._validate_flat(members, lengths)
+        self._append_flat(members, lengths)
+
+    def _validate_flat(self, members: np.ndarray, lengths: np.ndarray) -> None:
         if int(lengths.sum()) != members.size:
             raise ValueError("lengths must sum to members.size")
         if np.any(lengths < 0):
@@ -270,6 +322,10 @@ class RRSetPool:
                 raise ValueError(
                     f"members must lie in [0, {self.num_nodes - 1}], found [{lo}, {hi}]"
                 )
+
+    def _append_flat(self, members: np.ndarray, lengths: np.ndarray) -> None:
+        """The single-copy append core shared by :meth:`add_flat` and
+        :meth:`add_flat_from_buffer` (inputs already validated)."""
         count = lengths.size
         if count == 0:
             return
@@ -287,6 +343,8 @@ class RRSetPool:
             )
         self._reserve_members(self._members_used + members.size)
         self._reserve_sets(self._num_sets + count)
+        # The one and only copy: slice assignment casts same-kind integer
+        # inputs (int64 views included) directly into the int32 buffer.
         self._members[self._members_used : self._members_used + members.size] = members
         new_indptr = self._members_used + np.cumsum(lengths)
         self._indptr[self._num_sets + 1 : self._num_sets + count + 1] = new_indptr

@@ -22,16 +22,51 @@ spliced back in set-index order.  Because every chunk is a pure function
 of its address, the shards are **bit-identical for serial, 1-worker and
 N-worker execution**, no matter how requests are split across calls.
 No RNG state round-trips through workers; each task ships only
-``(engine id, ad, chunk, lo, hi)``.
+``(engine id, ad, chunk, transport)``.
 
-* Workers receive the graph CSR, the per-ad probability rows, and the
-  stream entropies **once** via fork (copy-on-write shared pages): the
-  parent registers its payload in a module-level registry before
-  creating the executor, and the forked children inherit it without any
-  pickling of the graph.
-* Workers return packed ``(members, lengths)`` blocks; the parent
-  splices them into the ads' shards in ascending ``(ad, chunk)`` order,
-  independent of completion order.
+Worker transport (``transport="shm"``, the default where available)
+-------------------------------------------------------------------
+
+* ``"shm"``: workers publish each chunk's packed block into a
+  ``multiprocessing.shared_memory`` segment — ``int64`` lengths followed
+  by ``int32`` members — and return only a small descriptor
+  ``(ad, chunk, segment_name, num_sets, num_members)``.  The parent
+  attaches the segment, splices the requested set subrange straight into
+  the ad's shard through the single-copy
+  :meth:`~repro.rrset.pool.RRSetPool.add_flat_from_buffer` append path
+  (zero-copy views over the segment; exactly one copy into the pool),
+  and retires the segment — exactly one ``unlink`` per segment, on
+  success and error paths alike.
+* ``"pickle"``: the historical transport — workers return the packed
+  ``(members, lengths)`` block itself over the result pipe.
+
+Transport is **not** part of the determinism contract: both splice the
+same bytes, and the invariance tests assert it.
+
+Start methods
+-------------
+
+Under ``fork`` (preferred where available) workers inherit the payload
+— graph CSR, per-ad probability rows, stream entropies — by
+copy-on-write from a module registry.  Under ``spawn`` the parent
+publishes the same payload once into a shared-memory *arena* and the
+executor initializer attaches it in each worker, rebuilding zero-copy
+views — so spawn platforms (macOS/Windows) run at full parallelism
+instead of degrading to serial.  Only when neither fork nor a
+shared-memory-capable spawn is usable does ``engine="process"`` degrade
+to serial sampling, with a warning per engine.
+
+Prefetch pipeline
+-----------------
+
+:meth:`ShardedSamplingEngine.prefetch` submits upcoming ``(ad, chunk)``
+tasks without blocking; :meth:`sample`/:meth:`ensure` harvest matching
+in-flight futures before submitting the remainder, so sampling can
+overlap the caller's own work (TIRM overlaps its greedy selection).
+Speculation is legal because chunks are pure functions of their
+``(entropy, ad, chunk)`` address: a speculative chunk is byte-identical
+whether or not it ends up needed, and one that is never consumed is
+simply discarded (and its segment unlinked) at close.
 
 Legacy streams (``rng="legacy"``)
 ---------------------------------
@@ -42,20 +77,17 @@ They are strictly sequential — set ``k`` cannot be drawn without first
 drawing sets ``0..k-1`` — so legacy requests are always served serially
 in ad order, exactly like the pre-engine ``TIRMAllocator`` loop, even
 under ``engine="process"`` (a warning says so).
-
-On platforms without ``fork`` the process engine degrades to serial
-execution (with a warning per engine) rather than paying a spawn-pickle
-of the graph per worker; see ``docs/rrset_engine.md``.
 """
 
 from __future__ import annotations
 
+import gc
 import itertools
 import multiprocessing
 import os
 import warnings
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -63,7 +95,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DirectedGraph
 from repro.rrset.backends import resolve_backend
-from repro.rrset.pool import RRSetPool
+from repro.rrset.pool import MEMBER_DTYPE, RRSetPool
 from repro.rrset.sampler import (
     DEFAULT_CHUNK_SIZE,
     RRSetSampler,
@@ -72,17 +104,31 @@ from repro.rrset.sampler import (
 )
 from repro.utils.rng import seed_entropy, spawn_generators
 
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
 ENGINE_MODES = ("serial", "process")
 SAMPLER_MODES = ("scalar", "blocked")
 RNG_MODES = ("philox", "legacy")
+TRANSPORT_MODES = ("auto", "pickle", "shm")
+START_METHODS = ("auto", "fork", "spawn")
+
+_LENGTH_DTYPE = np.int64
+_LENGTH_ITEMSIZE = np.dtype(_LENGTH_DTYPE).itemsize
+_MEMBER_ITEMSIZE = np.dtype(MEMBER_DTYPE).itemsize
 
 #: Engine-id allocator: payloads of concurrently live engines must not
 #: collide in the worker-side registries.
 _ENGINE_IDS = itertools.count()
 
-#: Parent-side payload registry, inherited by forked workers.  Maps
-#: engine id -> (graph, per-ad probability rows, per-ad entropies,
-#: chunk size, resolved sampling backend).
+#: Worker-visible payload registry.  Maps engine id -> (graph, per-ad
+#: probability rows, per-ad entropies, chunk size, resolved sampling
+#: backend).  Under fork the parent registers before creating the
+#: executor and children inherit the entry copy-on-write; under spawn
+#: the executor initializer fills the (fresh) worker-side registry from
+#: the payload arena (:func:`_spawn_worker_init`).
 _FORK_PAYLOADS: dict[int, tuple] = {}
 
 #: Worker-side sampler cache, keyed by (engine id, ad).  Samplers are
@@ -92,11 +138,56 @@ _FORK_PAYLOADS: dict[int, tuple] = {}
 _WORKER_SAMPLERS: dict[tuple[int, int], RRSetSampler] = {}
 
 
-def _worker_sample_chunk(engine_id: int, ad: int, mode: str, chunk_index: int):
+def _publish_block(members: np.ndarray, lengths: np.ndarray) -> tuple[str, int, int]:
+    """Worker side of the shm transport: pack one chunk block into a
+    fresh shared-memory segment (lengths, then members) and return its
+    ``(name, num_sets, num_members)`` descriptor.  The worker closes its
+    mapping immediately; the parent owns the segment's single unlink."""
+    lengths = np.ascontiguousarray(lengths, dtype=_LENGTH_DTYPE)
+    members = np.ascontiguousarray(members, dtype=MEMBER_DTYPE)
+    segment = shared_memory.SharedMemory(
+        create=True, size=max(lengths.nbytes + members.nbytes, 1)
+    )
+    try:
+        np.frombuffer(segment.buf, dtype=_LENGTH_DTYPE, count=lengths.size)[:] = lengths
+        np.frombuffer(
+            segment.buf, dtype=MEMBER_DTYPE, count=members.size,
+            offset=lengths.nbytes,
+        )[:] = members
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    name = segment.name
+    segment.close()
+    return name, int(lengths.size), int(members.size)
+
+
+def _unlink_segment(name: str) -> None:
+    """Best-effort unlink of a segment by name (idempotent: a segment
+    already unlinked — or never created — is not an error)."""
+    if shared_memory is None:
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+
+
+def _worker_sample_chunk(
+    engine_id: int, ad: int, mode: str, chunk_index: int,
+    transport: str = "pickle",
+):
     """Run one chunk task in a worker: rebuild the ad's plan from the
-    fork payload and return the chunk's full packed block.  The parent
-    slices out the requested subrange and caches partial tail blocks, so
-    a chunk is computed at most once per engine lifetime."""
+    engine payload and return the chunk's full packed block — inline
+    under the pickle transport, as a shared-memory descriptor under shm.
+    The parent slices out the requested subrange and caches partial tail
+    blocks, so a chunk is computed at most once per engine lifetime."""
     key = (engine_id, ad)
     graph, probs_per_ad, entropies, chunk_size, backend = _FORK_PAYLOADS[engine_id]
     sampler = _WORKER_SAMPLERS.get(key)
@@ -105,18 +196,115 @@ def _worker_sample_chunk(engine_id: int, ad: int, mode: str, chunk_index: int):
         _WORKER_SAMPLERS[key] = sampler
     plan = StreamPlan(entropies[ad], ad, chunk_size)
     members, lengths = sampler.sample_chunk_block(plan, chunk_index, mode=mode)
+    if transport == "shm":
+        name, num_sets, num_members = _publish_block(members, lengths)
+        return ad, chunk_index, name, num_sets, num_members
     return ad, chunk_index, members, lengths
 
 
+def _spawn_worker_init(
+    engine_id: int,
+    arena_name: str,
+    layout: list[tuple[str, str, int, int]],
+    graph_dims: tuple[int, int, int],
+    entropies: tuple[int, ...],
+    chunk_size: int,
+    backend_spec,
+) -> None:
+    """Executor initializer under the spawn start method: attach the
+    parent's payload arena and rebuild the payload registry entry from
+    zero-copy views over it — spawned workers never pickle the graph.
+
+    ``layout`` lists ``(key, dtype, count, offset)`` per array;
+    ``backend_spec`` is a backend name (re-resolved here, since resolved
+    backends may hold unpicklable compiled kernels) or, for custom
+    backends, a picklable instance.
+    """
+    import atexit
+
+    arena = shared_memory.SharedMemory(name=arena_name)
+    arrays = {
+        key: np.frombuffer(arena.buf, dtype=np.dtype(dtype), count=count, offset=offset)
+        for key, dtype, count, offset in layout
+    }
+    num_nodes, num_edges, h = graph_dims
+    # The sampling paths only touch the in-CSR (plus the two dims), so
+    # the arena ships exactly that; bypass the sorting/validating
+    # constructor and bind the shm-backed views directly to the slots.
+    graph = object.__new__(DirectedGraph)
+    graph.num_nodes = num_nodes
+    graph.num_edges = num_edges
+    graph.in_indptr = arrays["in_indptr"]
+    graph.in_sources = arrays["in_sources"]
+    graph.in_edge_ids = arrays["in_edge_ids"]
+    probs_per_ad = [arrays[f"probs_{ad}"] for ad in range(h)]
+    backend = (
+        resolve_backend(backend_spec) if isinstance(backend_spec, str) else backend_spec
+    )
+    _FORK_PAYLOADS[engine_id] = (graph, probs_per_ad, entropies, chunk_size, backend)
+    atexit.register(_spawn_worker_cleanup, engine_id, arena)
+
+
+def _spawn_worker_cleanup(engine_id: int, arena) -> None:
+    """Worker atexit: drop every payload view, then close the arena
+    mapping so the worker exits without buffer-export noise.  The parent
+    owns the arena's unlink."""
+    _FORK_PAYLOADS.pop(engine_id, None)
+    for key in [k for k in _WORKER_SAMPLERS if k[0] == engine_id]:
+        del _WORKER_SAMPLERS[key]
+    gc.collect()
+    try:
+        arena.close()
+    except BufferError:  # pragma: no cover - a view outlived the caches
+        # Detach forcibly: the OS reclaims the mapping at process exit
+        # either way, and silencing here keeps interpreter shutdown
+        # free of "exception ignored in __del__" noise.
+        arena._buf = None
+        arena._mmap = None
+
+
 def _release_engine_resources(resources: dict) -> None:
-    """Teardown shared by ``close()`` and the GC finalizer: shut the
-    worker pool down and drop the fork payload.  Runs at most once per
-    engine (``weakref.finalize`` guarantees it), in whichever comes
-    first — explicit close, context-manager exit, or garbage collection."""
+    """Teardown shared by ``close()`` and the GC finalizer: cancel
+    in-flight prefetch futures, shut the worker pool down, retire any
+    unharvested shared-memory segments and the payload arena, and drop
+    the payload registry entry.  Runs at most once per engine
+    (``weakref.finalize`` guarantees it), in whichever comes first —
+    explicit close, context-manager exit, or garbage collection.  Every
+    step is idempotent and exception-safe: each segment is unlinked
+    exactly once no matter how teardown is reached."""
+    inflight = resources.get("inflight")
+    pending: list[Future] = []
+    if inflight:
+        pending = list(inflight.values())
+        inflight.clear()
+        for future in pending:
+            future.cancel()
     executor = resources.get("executor")
     if executor is not None:
         resources["executor"] = None
         executor.shutdown(wait=True)
+    # Futures that could not be cancelled have completed by now (the
+    # shutdown waited); their published segments were never consumed by
+    # a splice, so retire them here.
+    if resources.get("transport") == "shm":
+        for future in pending:
+            if future.cancelled():
+                continue
+            try:
+                result = future.result()
+            except BaseException:
+                continue  # worker failed: _publish_block cleaned up
+            _unlink_segment(result[2])
+    arena = resources.get("arena")
+    if arena is not None:
+        resources["arena"] = None
+        try:
+            arena.close()
+        finally:
+            try:
+                arena.unlink()
+            except (FileNotFoundError, OSError):
+                pass
     payload_key = resources.get("payload_key")
     if payload_key is not None:
         resources["payload_key"] = None
@@ -146,8 +334,8 @@ class ShardedSamplingEngine:
         ``TIRMAllocator(sampler_mode=...)``.
     engine:
         ``"serial"`` samples in-process; ``"process"`` fans chunk tasks
-        across a fork-based process pool.  Both produce bit-identical
-        shards for the same ``(seeds, chunk_size)``.
+        across a process pool.  Both produce bit-identical shards for
+        the same ``(seeds, chunk_size)``.
     max_workers:
         Process-pool width (default: ``os.cpu_count()``).
     rng:
@@ -161,9 +349,27 @@ class ShardedSamplingEngine:
         Blocked-BFS backend (:mod:`repro.rrset.backends`): ``"numpy"``
         (reference, default), ``"numba"`` (JIT kernel), ``"auto"``, or
         a :class:`~repro.rrset.backends.SamplingBackend` instance.
-        Resolved once here; forked workers inherit the resolved backend
-        with the payload.  **Not** part of the determinism contract —
-        every backend yields byte-identical shards.
+        Resolved once here; workers inherit (fork) or rebuild (spawn)
+        the resolved backend with the payload.  **Not** part of the
+        determinism contract — every backend yields byte-identical
+        shards.
+    transport:
+        Worker-result transport for ``engine="process"``: ``"shm"``
+        (shared-memory descriptors, zero-copy parent splice), ``"pickle"``
+        (packed blocks over the result pipe), or ``"auto"`` (default:
+        shm where :mod:`multiprocessing.shared_memory` is available,
+        else pickle).  **Not** part of the determinism contract — both
+        transports splice byte-identical pools.  An explicit ``"shm"``
+        on a platform without shared memory raises
+        :class:`~repro.errors.ConfigurationError`.
+    start_method:
+        Process start method for the worker pool: ``"fork"``,
+        ``"spawn"``, or ``"auto"`` (default: fork where available, else
+        spawn).  Spawn workers receive the payload through a
+        shared-memory arena, so they run at full parallelism; if neither
+        fork nor a shared-memory-capable spawn is usable, the engine
+        degrades to serial sampling with a warning.  **Not** part of the
+        determinism contract.
 
     Examples
     --------
@@ -194,6 +400,8 @@ class ShardedSamplingEngine:
         rng: str = "philox",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         backend="numpy",
+        transport: str = "auto",
+        start_method: str = "auto",
     ) -> None:
         if mode not in SAMPLER_MODES:
             raise ConfigurationError(
@@ -207,6 +415,10 @@ class ShardedSamplingEngine:
             raise ConfigurationError(f"rng must be one of {RNG_MODES}, got {rng!r}")
         if chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if start_method not in START_METHODS:
+            raise ConfigurationError(
+                f"start_method must be one of {START_METHODS}, got {start_method!r}"
+            )
         probs_per_ad = list(probs_per_ad)
         if not probs_per_ad:
             raise ConfigurationError("need at least one advertiser")
@@ -219,9 +431,17 @@ class ShardedSamplingEngine:
         self.chunk_size = int(chunk_size)
         # Resolve once, up front: "auto" picks its substrate here (and
         # warns here if it degrades), workers inherit the *resolved*
-        # backend via the fork payload, and provenance records its name
+        # backend via the payload, and provenance records its name
         # (`backend_name`, mirroring RRSetSampler.backend/.backend_name).
         self.backend = resolve_backend(backend)
+        # Transport and start method resolve up front too: an explicit
+        # 'shm' without platform support fails cleanly here, and
+        # stats/provenance record the resolved names.  Neither is part
+        # of the determinism contract.
+        self.transport = self.resolve_transport(transport)
+        self._start_method = (
+            self._resolve_start_method(start_method) if engine == "process" else None
+        )
         h = len(probs_per_ad)
         if isinstance(seeds, (list, tuple)) and len(seeds) != h:
             raise ConfigurationError(
@@ -265,9 +485,20 @@ class ShardedSamplingEngine:
         self._tail_blocks: dict[int, tuple[int, tuple[np.ndarray, np.ndarray]]] = {}
         self._max_workers = max_workers
         self._engine_id = next(_ENGINE_IDS)
-        self._warned_no_fork = False
-        self._resources: dict = {"executor": None, "payload_key": None}
-        if engine == "process" and rng == "philox":
+        self._warned_degraded = False
+        # Speculative prefetch ledger: (ad, chunk) -> in-flight future.
+        # Shared with the teardown resources so close() can cancel and
+        # drain it even from the GC finalizer (which cannot see self).
+        self._inflight: dict[tuple[int, int], Future] = {}
+        self._arena_layout: list[tuple[str, str, int, int]] | None = None
+        self._resources: dict = {
+            "executor": None,
+            "payload_key": None,
+            "inflight": self._inflight,
+            "arena": None,
+            "transport": self.transport,
+        }
+        if engine == "process" and rng == "philox" and self._start_method != "spawn":
             _FORK_PAYLOADS[self._engine_id] = (
                 graph, probs_per_ad, entropies, self.chunk_size, self.backend,
             )
@@ -309,6 +540,12 @@ class ShardedSamplingEngine:
         backend *instance* is ``self.backend``)."""
         return self.backend.name
 
+    @property
+    def start_method(self) -> str | None:
+        """The resolved worker start method (``"fork"`` or ``"spawn"``),
+        or ``None`` for serial engines and degraded process engines."""
+        return self._start_method
+
     def shard(self, ad: int) -> RRSetPool:
         """The advertiser's RR-set pool shard."""
         return self._shards[ad]
@@ -330,9 +567,23 @@ class ShardedSamplingEngine:
         """Σ over shards of sets ever sampled."""
         return int(sum(s.num_total for s in self._shards))
 
+    def shared_memory_bytes(self) -> int:
+        """Bytes the engine itself pins in shared memory: the spawn
+        payload arena, while one is live.  Worker-published result
+        segments are transient (created per chunk, retired at splice)
+        and not counted."""
+        arena = self._resources.get("arena")
+        return int(arena.size) if arena is not None else 0
+
     def memory_bytes(self) -> int:
-        """Σ over shards of bytes held (the Table-4 figure)."""
-        return int(sum(s.memory_bytes() for s in self._shards))
+        """Σ over shards of bytes held (the Table-4 figure), plus any
+        shared-memory bytes the engine pins itself
+        (:meth:`shared_memory_bytes`) — honest accounting for the
+        externally-backed payload arena."""
+        return (
+            int(sum(s.memory_bytes() for s in self._shards))
+            + self.shared_memory_bytes()
+        )
 
     # ------------------------------------------------------------------
     # Sampling
@@ -372,13 +623,19 @@ class ShardedSamplingEngine:
             ):
                 tasks.append((ad, chunk_index, lo, hi))
         # A closed engine has no pool or payload left — serve in-process.
-        use_pool = (
-            self.engine == "process" and len(tasks) > 1 and self._finalizer.alive
+        # (A closed engine also has no in-flight futures: close drained
+        # them.)  Any in-flight prefetch future matching a task must be
+        # harvested through the pool path even for single-task requests.
+        needs_pool = len(tasks) > 1 or any(
+            (ad, chunk) in self._inflight for ad, chunk, _, _ in tasks
         )
-        if use_pool and not self._fork_available():
-            if not self._warned_no_fork:
-                self._warned_no_fork = True
-                self._warn_no_fork()
+        use_pool = (
+            self.engine == "process" and needs_pool and self._finalizer.alive
+        )
+        if use_pool and self._start_method is None:
+            if not self._warned_degraded:
+                self._warned_degraded = True
+                self._warn_degraded()
             use_pool = False
         if use_pool:
             self._run_tasks_process(tasks)
@@ -396,7 +653,59 @@ class ShardedSamplingEngine:
         engine with the same ``(seeds, chunk_size)`` asked to reach the
         same targets holds the same shards, no matter how the requests
         were split.  Targets at or below the current count are no-ops.
+        In-flight chunks submitted by :meth:`prefetch` are harvested
+        before any remainder is submitted.
         """
+        self.sample(self._targets_to_extras(targets))
+
+    def prefetch(self, targets: Mapping[int, int]) -> int:
+        """Speculatively submit the chunk tasks needed to reach the
+        given *absolute* per-ad targets, without blocking; returns how
+        many tasks were submitted.
+
+        A later :meth:`ensure`/:meth:`sample` harvests matching
+        in-flight futures before submitting anything new, so sampling
+        overlaps whatever the caller does in between (TIRM overlaps its
+        greedy selection).  Speculation cannot change results: chunks
+        are pure functions of their ``(entropy, ad, chunk)`` address, so
+        a speculative chunk is byte-identical whether or not it ends up
+        needed — and one never consumed is discarded (its segment
+        unlinked) at :meth:`close`.
+
+        No-op (returns 0) for serial engines, legacy streams, degraded
+        or closed engines, and for chunks already pooled, cached, or in
+        flight.
+        """
+        extras = self._targets_to_extras(targets)
+        if (
+            self.rng != "philox"
+            or self.engine != "process"
+            or self._start_method is None
+            or not self._finalizer.alive
+            or not extras
+        ):
+            return 0
+        submitted = 0
+        executor = self._ensure_executor()
+        for ad in sorted(extras):
+            start = self._shards[ad].num_total
+            for chunk_index, _, _ in self._plans[ad].chunk_tasks(
+                start, start + extras[ad]
+            ):
+                key = (ad, chunk_index)
+                if (
+                    key in self._inflight
+                    or self._cached_block(ad, chunk_index) is not None
+                ):
+                    continue
+                self._inflight[key] = executor.submit(
+                    _worker_sample_chunk, self._engine_id, ad, self.mode,
+                    chunk_index, self.transport,
+                )
+                submitted += 1
+        return submitted
+
+    def _targets_to_extras(self, targets: Mapping[int, int]) -> dict[int, int]:
         extras: dict[int, int] = {}
         for ad, target in targets.items():
             ad, target = int(ad), int(target)
@@ -409,7 +718,7 @@ class ShardedSamplingEngine:
             current = self._shards[ad].num_total
             if target > current:
                 extras[ad] = target - current
-        self.sample(extras)
+        return extras
 
     def _sample_serial_legacy(self, requests: dict[int, int]) -> None:
         for ad in sorted(requests):
@@ -438,6 +747,60 @@ class ShardedSamplingEngine:
         else:
             self._tail_blocks.pop(ad, None)
 
+    def _splice_segment(
+        self, ad: int, chunk_index: int, lo: int, hi: int,
+        name: str, num_sets: int, num_members: int,
+    ) -> None:
+        """Shm-transport splice: attach a worker-published segment,
+        append sets ``[lo, hi)`` straight out of it through the pool's
+        single-copy buffer path, and retire the segment.  Exactly one
+        unlink per segment, on success and error paths alike."""
+        segment = shared_memory.SharedMemory(name=name)
+        closed = False
+        try:
+            lengths = np.frombuffer(
+                segment.buf, dtype=_LENGTH_DTYPE, count=num_sets
+            )
+            bounds = np.zeros(num_sets + 1, dtype=np.int64)
+            np.cumsum(lengths, out=bounds[1:])
+            members_offset = num_sets * _LENGTH_ITEMSIZE
+            self._shards[ad].add_flat_from_buffer(
+                segment.buf,
+                num_sets=hi - lo,
+                num_members=int(bounds[hi] - bounds[lo]),
+                lengths_offset=lo * _LENGTH_ITEMSIZE,
+                members_offset=members_offset + int(bounds[lo]) * _MEMBER_ITEMSIZE,
+            )
+            self._samplers[ad].num_sampled += hi - lo
+            if hi < self.chunk_size:
+                # The tail cache must own its block: the segment dies now.
+                members = np.frombuffer(
+                    segment.buf, dtype=MEMBER_DTYPE, count=num_members,
+                    offset=members_offset,
+                )
+                self._tail_blocks[ad] = (
+                    chunk_index, (members.copy(), lengths.copy())
+                )
+                del members
+            else:
+                self._tail_blocks.pop(ad, None)
+            del lengths, bounds
+            segment.close()
+            closed = True
+        finally:
+            if not closed:
+                try:
+                    segment.close()
+                except BufferError:
+                    # An exception left a live view (the traceback pins
+                    # the frame); the mapping is reclaimed at GC — the
+                    # unlink below still removes the segment itself.
+                    pass
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+
     def _run_tasks_serial(self, tasks: list[tuple[int, int, int, int]]) -> None:
         for ad, chunk_index, lo, hi in tasks:
             block = self._cached_block(ad, chunk_index)
@@ -450,36 +813,67 @@ class ShardedSamplingEngine:
     def _run_tasks_process(self, tasks: list[tuple[int, int, int, int]]) -> None:
         executor = self._ensure_executor()
         blocks: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
-        futures = []
+        pending: dict[tuple[int, int], Future] = {}
         try:
             for ad, chunk_index, lo, hi in tasks:
+                key = (ad, chunk_index)
+                inflight = self._inflight.pop(key, None)
+                if inflight is not None:
+                    pending[key] = inflight  # harvest prefetched work
+                    continue
                 block = self._cached_block(ad, chunk_index)
                 if block is not None:
-                    blocks[(ad, chunk_index)] = block
+                    blocks[key] = block
                 else:
-                    futures.append(
-                        executor.submit(
-                            _worker_sample_chunk, self._engine_id, ad, self.mode,
-                            chunk_index,
-                        )
+                    pending[key] = executor.submit(
+                        _worker_sample_chunk, self._engine_id, ad, self.mode,
+                        chunk_index, self.transport,
                     )
-            for future in futures:
-                ad, chunk_index, members, lengths = future.result()
-                blocks[(ad, chunk_index)] = (members, lengths)
             # Deterministic splice order (ascending ad, then chunk — the
-            # order the task list was built in), independent of which worker
-            # finished first.
+            # order the task list was built in), independent of which
+            # worker finished first.  Each result is consumed as soon as
+            # *its* future resolves — no barrier on the whole batch.
             for ad, chunk_index, lo, hi in tasks:
-                self._splice_block(ad, chunk_index, lo, hi, blocks[(ad, chunk_index)])
+                key = (ad, chunk_index)
+                future = pending.pop(key, None)
+                if future is None:
+                    self._splice_block(ad, chunk_index, lo, hi, blocks[key])
+                    continue
+                result = future.result()
+                if self.transport == "shm":
+                    self._splice_segment(
+                        ad, chunk_index, lo, hi, result[2], result[3], result[4]
+                    )
+                else:
+                    self._splice_block(
+                        ad, chunk_index, lo, hi, (result[2], result[3])
+                    )
         except BaseException:
             # A failed batch (worker crash, submit error, splice error)
             # leaves the request partially applied; don't also leak the
-            # worker pool — cancel what hasn't started and route through
-            # the idempotent close().
-            for future in futures:
-                future.cancel()
+            # worker pool or any published segments — drain what's still
+            # pending here, then route through the idempotent close()
+            # (which drains the prefetch ledger the same way).
+            self._drain_futures(pending.values())
             self.close()
             raise
+
+    def _drain_futures(self, futures) -> None:
+        """Cancel-or-consume a set of in-flight futures: whatever cannot
+        be cancelled is waited for, and (under the shm transport) its
+        never-spliced segment is unlinked."""
+        futures = list(futures)
+        for future in futures:
+            future.cancel()
+        for future in futures:
+            if future.cancelled():
+                continue
+            try:
+                result = future.result()
+            except BaseException:
+                continue  # worker failed: _publish_block cleaned up
+            if self.transport == "shm":
+                _unlink_segment(result[2])
 
     # ------------------------------------------------------------------
     # Process-pool plumbing
@@ -488,25 +882,138 @@ class ShardedSamplingEngine:
     def _fork_available() -> bool:
         return "fork" in multiprocessing.get_all_start_methods()
 
+    @staticmethod
+    def _shm_available() -> bool:
+        return shared_memory is not None
+
+    @classmethod
+    def resolve_transport(cls, transport: str = "auto") -> str:
+        """Resolve a transport knob to ``"shm"`` or ``"pickle"``.
+
+        ``"auto"`` picks shm where :mod:`multiprocessing.shared_memory`
+        is available; an explicit ``"shm"`` without it raises
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        if transport not in TRANSPORT_MODES:
+            raise ConfigurationError(
+                f"transport must be one of {TRANSPORT_MODES}, got {transport!r}"
+            )
+        if transport == "pickle":
+            return "pickle"
+        if cls._shm_available():
+            return "shm"
+        if transport == "shm":
+            raise ConfigurationError(
+                "transport='shm' needs multiprocessing.shared_memory, which "
+                "is unavailable on this platform; use transport='pickle'"
+            )
+        return "pickle"
+
+    @classmethod
+    def _resolve_start_method(cls, requested: str) -> str | None:
+        """Resolve the start-method knob to ``"fork"``/``"spawn"``, or
+        ``None`` when no usable method exists (degrade to serial)."""
+        methods = multiprocessing.get_all_start_methods()
+        if requested in ("auto", "fork") and cls._fork_available():
+            return "fork"
+        # Spawn ships the payload through a shared-memory arena; without
+        # shared memory it would pay a per-worker graph pickle, so it
+        # degrades instead (the historical no-fork behavior).
+        if (
+            requested in ("auto", "spawn")
+            and "spawn" in methods
+            and cls._shm_available()
+        ):
+            return "spawn"
+        return None
+
+    def _spawn_initargs(self) -> tuple:
+        """Build (once) the spawn payload arena — graph in-CSR + per-ad
+        canonical probability rows — and return the executor initializer
+        arguments describing it."""
+        if self._resources["arena"] is None:
+            parts: list[tuple[str, np.ndarray]] = [
+                ("in_indptr", np.ascontiguousarray(self.graph.in_indptr)),
+                ("in_sources", np.ascontiguousarray(self.graph.in_sources)),
+                ("in_edge_ids", np.ascontiguousarray(self.graph.in_edge_ids)),
+            ]
+            for ad, sampler in enumerate(self._samplers):
+                parts.append(
+                    (f"probs_{ad}", np.ascontiguousarray(sampler.edge_probabilities))
+                )
+            layout: list[tuple[str, str, int, int]] = []
+            offset = 0
+            for key, array in parts:
+                offset = (offset + 7) & ~7  # 8-byte align every block
+                layout.append((key, array.dtype.str, int(array.size), offset))
+                offset += array.nbytes
+            arena = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+            try:
+                for (key, dtype, count, off), (_, array) in zip(layout, parts):
+                    np.frombuffer(
+                        arena.buf, dtype=np.dtype(dtype), count=count, offset=off
+                    )[:] = array
+            except BaseException:
+                arena.close()
+                arena.unlink()
+                raise
+            self._resources["arena"] = arena
+            self._arena_layout = layout
+        backend_spec = (
+            self.backend.name
+            if self.backend.name in ("numpy", "numba")
+            else self.backend
+        )
+        return (
+            self._engine_id,
+            self._resources["arena"].name,
+            self._arena_layout,
+            (self.graph.num_nodes, self.graph.num_edges, self.num_ads),
+            tuple(self._entropies),
+            self.chunk_size,
+            backend_spec,
+        )
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
         executor = self._resources["executor"]
         if executor is None:
             workers = self._max_workers
             if workers is None:
                 workers = max(1, os.cpu_count() or 1)
-            executor = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=multiprocessing.get_context("fork"),
-            )
+            if self.transport == "shm":
+                # Start the parent's resource tracker *before* the pool exists
+                # so every worker (fork children inherit it; spawn children
+                # receive its fd) reports segment register/unregister events to
+                # the same tracker process.  Without this, each fork child
+                # lazily launches a private tracker on its first segment
+                # create, and that tracker warns about "leaked" segments at
+                # shutdown because the parent's unlink was reported elsewhere.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            context = multiprocessing.get_context(self._start_method)
+            if self._start_method == "spawn":
+                executor = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=_spawn_worker_init,
+                    initargs=self._spawn_initargs(),
+                )
+            else:
+                executor = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context
+                )
             self._resources["executor"] = executor
         return executor
 
     def close(self) -> None:
-        """Shut down the worker pool and release the fork payload.
+        """Cancel in-flight prefetch futures, shut down the worker pool,
+        retire every engine-owned shared-memory segment, and release the
+        payload.
 
-        Idempotent: the teardown callback is shared with the GC
-        finalizer and runs at most once however many times it is
-        triggered.
+        Idempotent and exception-safe: the teardown callback is shared
+        with the GC finalizer and runs at most once however many times
+        it is triggered, and every segment is unlinked exactly once.
         """
         if self._finalizer.alive:
             self._finalizer()
@@ -517,13 +1024,14 @@ class ShardedSamplingEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _warn_no_fork(self) -> None:
+    def _warn_degraded(self) -> None:
         # The engine id makes the message unique per instance, so the
         # warnings registry's once-per-location dedup cannot swallow the
         # warning for every engine after the first in a process.
         warnings.warn(
-            f"fork start method unavailable; ShardedSamplingEngine "
-            f"#{self._engine_id} (engine='process') will sample serially",
+            f"no usable process start method (fork unavailable, spawn needs "
+            f"shared memory); ShardedSamplingEngine #{self._engine_id} "
+            f"(engine='process') will sample serially",
             RuntimeWarning,
             stacklevel=4,
         )
@@ -533,5 +1041,5 @@ class ShardedSamplingEngine:
             f"{type(self).__name__}(h={self.num_ads}, mode={self.mode!r}, "
             f"engine={self.engine!r}, rng={self.rng!r}, "
             f"chunk_size={self.chunk_size}, backend={self.backend_name!r}, "
-            f"total_sets={self.total_sets()})"
+            f"transport={self.transport!r}, total_sets={self.total_sets()})"
         )

@@ -106,6 +106,38 @@ def test_allocate_rejects_unknown_backend():
         main(["allocate", "figure1", "--backend", "cuda"])
 
 
+def test_allocate_transport_and_prefetch_flags(capsys):
+    code = main([
+        "allocate", "figure1", "--algorithm", "tirm",
+        "--eval-runs", "50", "--max-rr-sets", "1000",
+        "--engine", "process", "--workers", "2",
+        "--transport", "shm", "--no-prefetch",
+    ])
+    assert code == 0
+    assert "TIRM on figure1" in capsys.readouterr().out
+
+
+def test_parser_defaults_transport_to_auto():
+    args = build_parser().parse_args(["allocate", "figure1"])
+    assert args.transport == "auto"
+    assert args.start_method == "auto"
+    assert args.no_prefetch is False
+    args = build_parser().parse_args(
+        ["allocate", "figure1", "--transport", "pickle",
+         "--start-method", "spawn", "--no-prefetch"]
+    )
+    assert args.transport == "pickle"
+    assert args.start_method == "spawn"
+    assert args.no_prefetch is True
+
+
+def test_allocate_rejects_unknown_transport():
+    with pytest.raises(SystemExit):
+        main(["allocate", "figure1", "--transport", "carrier-pigeon"])
+    with pytest.raises(SystemExit):
+        main(["allocate", "figure1", "--start-method", "forkserver"])
+
+
 def test_backend_numba_unavailable_fails_cleanly(capsys, monkeypatch):
     """Explicit --backend numba without the optional extra: a one-line
     ``error:`` on stderr and exit code 2, never a traceback."""

@@ -64,6 +64,106 @@ class TestAddFlat:
         assert np.array_equal(pool.coverage(), expected)
 
 
+class TestAddFlatFromBuffer:
+    """Single-copy ingest of a packed ``[int64 lengths][int32 members]``
+    block — the parent-side splice path of the shm transport."""
+
+    @staticmethod
+    def _packed(members, lengths, pad_before=0):
+        lengths = np.asarray(lengths, dtype=np.int64)
+        members = np.asarray(members, dtype=np.int32)
+        return b"\x00" * pad_before + lengths.tobytes() + members.tobytes()
+
+    def test_matches_add_flat(self):
+        a, b = RRSetPool(6), RRSetPool(6)
+        members, lengths = [0, 1, 2, 3, 1], [2, 3]
+        a.add_flat(np.asarray(members), np.asarray(lengths))
+        b.add_flat_from_buffer(
+            self._packed(members, lengths), num_sets=2, num_members=5
+        )
+        assert b.num_total == a.num_total
+        va, vb = a.prefix_view(), b.prefix_view()
+        assert va.members.tobytes() == vb.members.tobytes()
+        assert va.indptr.tobytes() == vb.indptr.tobytes()
+        assert a.coverage().tolist() == b.coverage().tolist()
+
+    def test_offsets_select_a_sub_block(self):
+        """The engine splices ``[lo, hi)`` of a chunk by pointing the
+        offsets into the middle of a worker's block."""
+        pool = RRSetPool(6)
+        members, lengths = [0, 1, 2, 3, 1, 4], [2, 3, 1]
+        buf = self._packed(members, lengths)
+        # take sets [1, 3): lengths start at entry 1, members at element 2
+        pool.add_flat_from_buffer(
+            buf, num_sets=2, num_members=4,
+            lengths_offset=1 * 8, members_offset=3 * 8 + 2 * 4,
+        )
+        assert pool.num_total == 2
+        assert pool.get_set(0).tolist() == [2, 3, 1]
+        assert pool.get_set(1).tolist() == [4]
+
+    def test_leading_padding_via_lengths_offset(self):
+        pool = RRSetPool(6)
+        buf = self._packed([5, 0], [1, 1], pad_before=16)
+        pool.add_flat_from_buffer(
+            buf, num_sets=2, num_members=2, lengths_offset=16
+        )
+        assert pool.get_set(0).tolist() == [5]
+        assert pool.get_set(1).tolist() == [0]
+
+    def test_empty_block(self):
+        pool = RRSetPool(4)
+        pool.add_flat_from_buffer(b"", num_sets=0, num_members=0)
+        assert pool.num_total == 0
+
+    def test_validation_mirrors_add_flat(self):
+        pool = RRSetPool(4)
+        with pytest.raises(ValueError):  # lengths do not sum to members
+            pool.add_flat_from_buffer(
+                self._packed([0, 1], [3]), num_sets=1, num_members=2
+            )
+        with pytest.raises(ValueError):  # out-of-range member
+            pool.add_flat_from_buffer(
+                self._packed([7], [1]), num_sets=1, num_members=1
+            )
+        with pytest.raises(ValueError):  # negative length
+            pool.add_flat_from_buffer(
+                self._packed([0], [2, -1]), num_sets=2, num_members=1
+            )
+        with pytest.raises(ValueError):  # negative counts
+            pool.add_flat_from_buffer(b"", num_sets=-1, num_members=0)
+        with pytest.raises(ValueError):  # buffer too small for the counts
+            pool.add_flat_from_buffer(
+                self._packed([0], [1]), num_sets=1, num_members=9
+            )
+        assert pool.num_total == 0  # refused appends leave the pool untouched
+
+    def test_pool_keeps_no_reference_to_the_buffer(self):
+        """The caller may unlink/release the source immediately — the
+        pool's arrays must own their bytes."""
+        pool = RRSetPool(6)
+        buf = bytearray(self._packed([0, 1, 2], [1, 2]))
+        pool.add_flat_from_buffer(bytes(buf), num_sets=2, num_members=3)
+        before = pool.prefix_view().members.tobytes()
+        buf[:] = b"\xff" * len(buf)  # clobber the source
+        assert pool.prefix_view().members.tobytes() == before
+        assert pool.get_set(1).tolist() == [1, 2]
+
+    def test_add_flat_still_accepts_int64_convenience_input(self):
+        """``add_flat`` keeps the legacy wide-dtype convenience path (one
+        explicit astype) while int32 input goes straight through."""
+        pool = RRSetPool(6)
+        pool.add_flat(
+            np.asarray([0, 1], dtype=np.int64), np.asarray([2], dtype=np.int64)
+        )
+        pool.add_flat(
+            np.asarray([2], dtype=np.int32), np.asarray([1], dtype=np.int32)
+        )
+        assert pool.num_total == 2
+        assert pool.get_set(0).tolist() == [0, 1]
+        assert pool.get_set(1).tolist() == [2]
+
+
 class TestIndexMaintenance:
     def test_pending_mini_index_serves_queries(self):
         """A small batch after a large one must not trigger a full

@@ -208,7 +208,7 @@ class TestTIRMIntegration:
             TIRMAllocator(engine="threads")
 
 
-def _exploding_worker(engine_id, ad, mode, chunk_index):
+def _exploding_worker(engine_id, ad, mode, chunk_index, transport="pickle"):
     # module-level so the fork pool can pickle it by reference
     raise ValueError("worker exploded")
 

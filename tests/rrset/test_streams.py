@@ -3,13 +3,18 @@
 The contract under test (``rng="philox"``): every RR set is a pure
 function of ``(global_seed, ad, set_index)`` given a chunk size — so the
 sampled pools must be byte-identical across serial execution, 1-worker
-and N-worker process pools, and any way of splitting the same index
-ranges across requests.
+and N-worker process pools, every transport (pickle vs shared memory),
+every start method (fork vs spawn), prefetch on or off, and any way of
+splitting the same index ranges across requests.
 """
 
 from __future__ import annotations
 
 import gc
+import os
+import subprocess
+import sys
+import textwrap
 import warnings
 
 import numpy as np
@@ -299,18 +304,182 @@ class TestWorkerCountInvariance:
         assert all(ad == 0 for ad, _, _, _ in tasks)
 
 
-class TestNoForkFallback:
+class TestTransportMatrix:
+    """Transport × start-method acceptance matrix.
+
+    Every leg must produce pools byte-identical to the serial engine —
+    the shared-memory descriptor path and the spawn payload arena are
+    alternative plumbings for the same pure chunk functions, so they are
+    byte-identical *by construction* and asserted here.
+    """
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_pools_byte_identical(self, start_method, transport):
+        problem = _problem(4, num_ads=2)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=8, engine="serial",
+            chunk_size=16,
+        ) as serial, ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=8, engine="process",
+            max_workers=2, chunk_size=16, transport=transport,
+            start_method=start_method,
+        ) as process:
+            assert process.transport == transport
+            assert process.start_method == start_method
+            for requests in ({0: 70, 1: 40}, {0: 33}, {1: 5}):
+                serial.sample(requests)
+                process.sample(requests)
+            _assert_fingerprints_equal(_fingerprint(serial), _fingerprint(process))
+
+    def test_spawn_arena_is_accounted_and_released(self):
+        problem = _problem(4, num_ads=2)
+        eng = ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=8, engine="process",
+            max_workers=2, chunk_size=16, start_method="spawn",
+        )
+        try:
+            eng.sample({0: 20})
+            assert eng.shared_memory_bytes() > 0
+            shard_bytes = sum(
+                eng.shard(ad).memory_bytes() for ad in range(eng.num_ads)
+            )
+            assert eng.memory_bytes() == shard_bytes + eng.shared_memory_bytes()
+        finally:
+            eng.close()
+        assert eng.shared_memory_bytes() == 0
+
+    def test_resolve_transport(self):
+        assert ShardedSamplingEngine.resolve_transport("pickle") == "pickle"
+        resolved = ShardedSamplingEngine.resolve_transport("auto")
+        assert resolved in ("pickle", "shm")
+        with pytest.raises(ConfigurationError):
+            ShardedSamplingEngine.resolve_transport("carrier-pigeon")
+
+    def test_rejects_bad_start_method(self):
+        problem = _problem(4, num_ads=1)
+        with pytest.raises(ConfigurationError):
+            ShardedSamplingEngine(
+                problem.graph, _probs(problem), start_method="forkserver"
+            )
+
+    def test_repr_names_the_transport(self):
+        problem = _problem(4, num_ads=1)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), transport="pickle"
+        ) as eng:
+            assert "transport='pickle'" in repr(eng)
+
+
+class TestPrefetch:
+    """Speculative chunk prefetch: same bytes, overlapped wall-clock.
+
+    Legal because every chunk is a pure function of
+    ``(entropy, ad, chunk_index)`` — *when* it is computed cannot change
+    *what* is computed.
+    """
+
+    def test_prefetch_then_ensure_matches_serial(self):
+        problem = _problem(4, num_ads=2)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=8, engine="serial",
+            chunk_size=16,
+        ) as serial, ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=8, engine="process",
+            max_workers=2, chunk_size=16,
+        ) as process:
+            submitted = process.prefetch({0: 70, 1: 40})
+            assert submitted == 5 + 3  # ceil(70/16) + ceil(40/16) chunks
+            # resubmission of in-flight chunks is a no-op
+            assert process.prefetch({0: 70, 1: 40}) == 0
+            process.ensure({0: 70, 1: 40})  # harvests the futures
+            serial.ensure({0: 70, 1: 40})
+            # prefetch beyond, then only partially consume
+            process.prefetch({0: 120})
+            process.sample({0: 33})
+            serial.sample({0: 33})
+            _assert_fingerprints_equal(_fingerprint(serial), _fingerprint(process))
+
+    def test_prefetched_chunks_are_harvested_not_resampled(self):
+        problem = _problem(5, num_ads=1)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=2, engine="process",
+            chunk_size=16, max_workers=2,
+        ) as eng:
+            eng.prefetch({0: 50})
+            assert len(eng._inflight) == 4  # ceil(50/16)
+            eng.ensure({0: 50})
+            assert not eng._inflight  # all harvested, none dropped
+            assert eng.shard(0).num_total == 50
+
+    def test_prefetch_is_a_noop_on_serial_engines(self):
+        problem = _problem(4, num_ads=1)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=8, engine="serial"
+        ) as eng:
+            assert eng.prefetch({0: 40}) == 0
+
+    def test_prefetch_is_a_noop_after_close(self):
+        problem = _problem(4, num_ads=1)
+        eng = ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=8, engine="process"
+        )
+        eng.close()
+        assert eng.prefetch({0: 40}) == 0
+        assert not eng._inflight
+
+    def test_prefetch_validates_targets(self):
+        problem = _problem(4, num_ads=1)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=8, engine="process"
+        ) as eng:
+            with pytest.raises(ConfigurationError):
+                eng.prefetch({9: 10})
+            with pytest.raises(ConfigurationError):
+                eng.prefetch({0: -1})
+
+    def test_close_drains_unconsumed_prefetch(self):
+        problem = _problem(4, num_ads=2)
+        eng = ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=8, engine="process",
+            chunk_size=16, max_workers=2,
+        )
+        assert eng.prefetch({0: 100, 1: 50}) > 0
+        eng.close()
+        assert not eng._inflight
+        eng.close()  # idempotent with drained futures
+
+
+class TestDegradedFallback:
+    """Resolution ladder: fork → spawn (needs shared memory) → serial."""
+
+    def test_no_fork_falls_back_to_spawn(self, monkeypatch):
+        problem = _problem(6, num_ads=1)
+        monkeypatch.setattr(
+            ShardedSamplingEngine, "_fork_available", staticmethod(lambda: False)
+        )
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=4, engine="process",
+            chunk_size=8,
+        ) as eng:
+            assert eng.start_method == "spawn"
+
     def test_warns_once_per_engine_and_matches_serial(self, monkeypatch):
         problem = _problem(6, num_ads=2)
         monkeypatch.setattr(
             ShardedSamplingEngine, "_fork_available", staticmethod(lambda: False)
+        )
+        monkeypatch.setattr(
+            ShardedSamplingEngine, "_shm_available", staticmethod(lambda: False)
         )
         with ShardedSamplingEngine(
             problem.graph, _probs(problem), seeds=4, engine="process", chunk_size=8
         ) as eng, ShardedSamplingEngine(
             problem.graph, _probs(problem), seeds=4, engine="serial", chunk_size=8
         ) as serial:
-            with pytest.warns(RuntimeWarning, match="fork start method unavailable"):
+            assert eng.start_method is None
+            assert eng.transport == "pickle"  # auto falls back without shm
+            with pytest.warns(RuntimeWarning, match="no usable process start"):
                 eng.sample({0: 30, 1: 30})
             # the second request must not warn again on the same engine
             with warnings.catch_warnings():
@@ -325,6 +494,9 @@ class TestNoForkFallback:
         monkeypatch.setattr(
             ShardedSamplingEngine, "_fork_available", staticmethod(lambda: False)
         )
+        monkeypatch.setattr(
+            ShardedSamplingEngine, "_shm_available", staticmethod(lambda: False)
+        )
         for _ in range(2):  # a fresh engine warns even after another already did
             with ShardedSamplingEngine(
                 problem.graph, _probs(problem), seeds=4, engine="process",
@@ -332,6 +504,29 @@ class TestNoForkFallback:
             ) as eng:
                 with pytest.warns(RuntimeWarning, match="will sample serially"):
                     eng.sample({0: 20, 1: 20})
+
+    def test_explicit_fork_without_fork_degrades(self, monkeypatch):
+        problem = _problem(6, num_ads=1)
+        monkeypatch.setattr(
+            ShardedSamplingEngine, "_fork_available", staticmethod(lambda: False)
+        )
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=4, engine="process",
+            chunk_size=8, start_method="fork",
+        ) as eng:
+            assert eng.start_method is None
+            with pytest.warns(RuntimeWarning, match="will sample serially"):
+                eng.sample({0: 10})
+
+    def test_explicit_shm_without_shm_raises(self, monkeypatch):
+        problem = _problem(6, num_ads=1)
+        monkeypatch.setattr(
+            ShardedSamplingEngine, "_shm_available", staticmethod(lambda: False)
+        )
+        with pytest.raises(ConfigurationError):
+            ShardedSamplingEngine(
+                problem.graph, _probs(problem), engine="process", transport="shm"
+            )
 
 
 class TestTeardown:
@@ -360,6 +555,74 @@ class TestTeardown:
         del eng
         gc.collect()
         assert engine_id not in _FORK_PAYLOADS
+
+
+class TestShmHygiene:
+    """No shared-memory segment may outlive the engine, and teardown must
+    be silent — no resource_tracker leaked-segment warnings."""
+
+    def test_no_segments_left_in_dev_shm(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        before = set(os.listdir("/dev/shm"))
+        problem = _problem(7, num_ads=2)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=3, engine="process",
+            chunk_size=16, max_workers=2, transport="shm",
+        ) as eng:
+            eng.sample({0: 40, 1: 20})
+            eng.prefetch({0: 100})  # left unconsumed on purpose
+        gc.collect()
+        leaked = {
+            name for name in set(os.listdir("/dev/shm")) - before
+            if name.startswith("psm_")
+        }
+        assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+    def test_teardown_emits_no_resource_tracker_warnings(self):
+        """Run a full shm life cycle (fork transport + spawn arena +
+        abandoned prefetch) in a subprocess and assert interpreter
+        shutdown prints nothing — the resource tracker only reports
+        stale registrations at exit, so the check needs a real exit."""
+        code = textwrap.dedent(
+            """
+            from repro.graph.generators import erdos_renyi
+            from repro.graph.probabilities import constant_probabilities
+            from repro.rrset.sharded import ShardedSamplingEngine
+
+            graph = erdos_renyi(40, 0.06, seed=2)
+            probs = [constant_probabilities(graph, 0.08)] * 2
+            with ShardedSamplingEngine(
+                graph, probs, seeds=5, engine="process", chunk_size=8,
+                max_workers=2, transport="shm", start_method="fork",
+            ) as eng:
+                eng.sample({0: 30, 1: 10})
+                eng.prefetch({0: 60})  # abandoned in-flight work
+            eng2 = ShardedSamplingEngine(
+                graph, probs, seeds=5, engine="process", chunk_size=8,
+                max_workers=1, start_method="spawn",
+            )
+            eng2.sample({0: 8})
+            eng2.close()
+            print("CYCLE-OK")
+            """
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": os.path.abspath(
+                    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+                ),
+            },
+            timeout=240,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "CYCLE-OK" in result.stdout
+        assert "resource_tracker" not in result.stderr, result.stderr
+        assert "leaked" not in result.stderr, result.stderr
 
 
 class TestLegacyMode:
@@ -416,6 +679,38 @@ class TestTIRMContract:
         assert provenance["seed"] == 3
         assert provenance["stream_entropy"] == 3
         assert result.allocation.copy().provenance == provenance
+
+    def test_prefetch_does_not_change_the_allocation(self):
+        """Speculative sampling overlaps the greedy phase but must leave
+        the allocation, revenues, and per-ad θ schedule untouched."""
+        problem = _problem(9, num_ads=2)
+        kwargs = dict(
+            seed=3, initial_pilot=300, max_rr_sets_per_ad=2_000, epsilon=0.25,
+            chunk_size=32, engine="process", max_workers=2,
+        )
+        on = TIRMAllocator(prefetch=True, **kwargs).allocate(problem)
+        off = TIRMAllocator(prefetch=False, **kwargs).allocate(problem)
+        assert on.allocation == off.allocation
+        assert np.array_equal(on.estimated_revenues, off.estimated_revenues)
+        assert on.stats["theta_per_ad"] == off.stats["theta_per_ad"]
+        assert on.stats["prefetch"] is True
+        assert off.stats["prefetch"] is False
+
+    def test_stats_and_provenance_record_the_transport(self):
+        problem = _problem(9, num_ads=2)
+        result = TIRMAllocator(
+            seed=3, initial_pilot=300, max_rr_sets_per_ad=2_000, epsilon=0.25,
+            chunk_size=64, transport="pickle",
+        ).allocate(problem)
+        assert result.stats["transport"] == "pickle"
+        assert result.allocation.provenance["transport"] == "pickle"
+        assert "start_method" in result.stats
+
+    def test_rejects_bad_transport_params(self):
+        with pytest.raises(ConfigurationError):
+            TIRMAllocator(transport="carrier-pigeon")
+        with pytest.raises(ConfigurationError):
+            TIRMAllocator(start_method="forkserver")
 
     def test_legacy_provenance_records_the_master_seed(self):
         problem = _problem(9, num_ads=2)
