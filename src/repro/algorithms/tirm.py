@@ -189,6 +189,14 @@ class TIRMAllocator(Allocator):
         checkpoint when ``checkpoint_path`` is set) and return the
         partial allocation with ``stats["truncated"] = True`` — the
         incremental building block for time-bounded allocation slices.
+    dsan:
+        Runtime determinism sanitizer (:mod:`repro.rrset.dsan`): when
+        enabled the engine records a blake2 digest per ``(ad, chunk)``
+        block it splices, and the result carries them in
+        ``stats["dsan_digests"]`` plus a whole-run ``dsan_root``
+        fingerprint (also in provenance).  ``None`` (default) defers to
+        the ``REPRO_DSAN`` environment variable.  Pure observation: the
+        allocation is byte-identical with dsan on or off.
     seed:
         Master RNG seed; per-ad samplers get independent child streams.
 
@@ -231,6 +239,7 @@ class TIRMAllocator(Allocator):
         checkpoint_every: int | None = None,
         resume_from=None,
         max_iterations: int | None = None,
+        dsan: bool | None = None,
         seed=None,
     ) -> None:
         if not 0 < epsilon < 1:
@@ -314,6 +323,8 @@ class TIRMAllocator(Allocator):
         self.max_iterations = (
             int(max_iterations) if max_iterations is not None else None
         )
+        # Tri-state: None defers to REPRO_DSAN at engine construction.
+        self.dsan = dsan
         self._seed = seed
 
     # ------------------------------------------------------------------
@@ -371,6 +382,7 @@ class TIRMAllocator(Allocator):
             backend=self._backend_obj,
             transport=self.transport,
             start_method=self.start_method,
+            dsan=self.dsan,
         )
         checkpoints_written = 0
         resumed_at = None
@@ -485,32 +497,45 @@ class TIRMAllocator(Allocator):
                     "lineage": lineage,
                 }
             )
+        stats = {
+            "iterations": iterations,
+            "theta_per_ad": [s.theta for s in states],
+            "seed_size_estimates": [s.seed_size_estimate for s in states],
+            "total_rr_sets": int(sum(s.theta for s in states)),
+            "rr_memory_bytes": int(sum(s.collection.memory_bytes() for s in states)),
+            "epsilon": self.epsilon,
+            "select_rule": self.select_rule,
+            "sampler_mode": self.sampler_mode,
+            "engine": self.engine,
+            "rng": self.rng,
+            "chunk_size": self.chunk_size if self.rng == "philox" else None,
+            "backend": engine.backend_name,
+            "transport": engine.transport,
+            "start_method": engine.start_method,
+            "prefetch": self.prefetch,
+            "dsan": engine.dsan,
+            "checkpoints_written": checkpoints_written,
+            "resumed_at_iteration": resumed_at,
+            "truncated": truncated,
+        }
+        if engine.dsan:
+            # Digest maps key on (ad, chunk) tuples; stats serialize to
+            # JSON in the CLI, so the keys flatten to "ad:chunk" strings.
+            stats["dsan_digests"] = {
+                f"{ad}:{chunk}": digest
+                for (ad, chunk), digest in sorted(engine.dsan_digests().items())
+            }
+            stats["dsan_root"] = engine.dsan_root()
+            # A sanitized run's provenance carries the whole-run RR-byte
+            # fingerprint; an unsanitized run's provenance is unchanged.
+            allocation.set_provenance(dsan_root=stats["dsan_root"])
         return AllocationResult(
             algorithm=self.name,
             allocation=allocation,
             estimated_revenues=revenues,
             budgets=budgets,
             penalty=problem.penalty,
-            stats={
-                "iterations": iterations,
-                "theta_per_ad": [s.theta for s in states],
-                "seed_size_estimates": [s.seed_size_estimate for s in states],
-                "total_rr_sets": int(sum(s.theta for s in states)),
-                "rr_memory_bytes": int(sum(s.collection.memory_bytes() for s in states)),
-                "epsilon": self.epsilon,
-                "select_rule": self.select_rule,
-                "sampler_mode": self.sampler_mode,
-                "engine": self.engine,
-                "rng": self.rng,
-                "chunk_size": self.chunk_size if self.rng == "philox" else None,
-                "backend": engine.backend_name,
-                "transport": engine.transport,
-                "start_method": engine.start_method,
-                "prefetch": self.prefetch,
-                "checkpoints_written": checkpoints_written,
-                "resumed_at_iteration": resumed_at,
-                "truncated": truncated,
-            },
+            stats=stats,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,40 @@
+"""Lint findings: what a rule reports and how it prints.
+
+A finding is one violation at one source location.  The textual format
+is the classic compiler shape — ``path:line:col: CODE message`` — so
+editors, CI annotations, and humans all parse it the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is ``(path, line, col, code)`` so reports read top-to-bottom
+    per file regardless of which rule fired first.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` (col is 1-based for editors)."""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+
+def format_report(findings: list[Finding]) -> str:
+    """The full report: one line per finding plus a summary line."""
+    lines = [finding.format() for finding in findings]
+    count = len(findings)
+    lines.append(
+        "repro lint: clean" if count == 0
+        else f"repro lint: {count} finding{'s' if count != 1 else ''}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Rule framework: the context one file presents to every rule.
+
+A rule is a small class with a ``code`` (``REPRO1xx`` family, spelled
+``R1xx``), a one-line ``description``, and a ``check`` method that walks
+the file's AST and yields :class:`~repro.analysis.findings.Finding`
+objects.  Rules never see the filesystem — the linter hands them a
+:class:`LintContext` holding the parsed tree, the module identity, and
+pre-scanned import aliases, so each rule stays a pure AST visitor.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from repro.analysis.config import AnalysisConfig, module_key
+from repro.analysis.findings import Finding
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class LintContext:
+    """Everything a rule may look at for one file.
+
+    Attributes
+    ----------
+    path:
+        The path as given to the linter (used verbatim in findings).
+    module:
+        The :func:`~repro.analysis.config.module_key` identity — what
+        the config's seam lists match against.
+    tree:
+        The parsed :class:`ast.Module`.
+    config:
+        The active :class:`~repro.analysis.config.AnalysisConfig`.
+    numpy_aliases / random_aliases:
+        Names the file binds to the ``numpy`` and stdlib ``random``
+        modules (``import numpy as np`` → ``{"np"}``), so rules resolve
+        aliased calls without type inference.
+    from_imports:
+        Names imported *from* a module, mapped to their origin
+        (``from numpy.random import default_rng`` →
+        ``{"default_rng": "numpy.random"}``).
+    """
+
+    def __init__(self, path, tree: ast.Module, config: AnalysisConfig) -> None:
+        self.path = str(path)
+        self.module = module_key(path)
+        self.tree = tree
+        self.config = config
+        self.numpy_aliases: set[str] = set()
+        self.random_aliases: set[str] = set()
+        self.from_imports: dict[str, str] = {}
+        self._scan_imports(tree)
+
+    def _scan_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy" or alias.name.startswith("numpy."):
+                        self.numpy_aliases.add(bound)
+                    elif alias.name == "random":
+                        self.random_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = node.module
+
+    # ------------------------------------------------------------------
+    # Call-name resolution helpers shared by the RNG-flavored rules
+    # ------------------------------------------------------------------
+    def call_target(self, call: ast.Call) -> tuple[str, str] | None:
+        """Resolve a call to ``(origin_module, function_name)``.
+
+        Handles the three spellings rules care about:
+
+        * ``np.random.default_rng(...)`` → ``("numpy.random", "default_rng")``
+          for any alias of ``numpy``;
+        * ``random.seed(...)`` → ``("random", "seed")`` for any alias of
+          the stdlib module;
+        * ``default_rng(...)`` after ``from numpy.random import
+          default_rng`` → ``("numpy.random", "default_rng")``.
+
+        Returns ``None`` for calls that are none of these.
+        """
+        func = call.func
+        name = dotted_name(func)
+        if name is not None and "." in name:
+            head, *middle, last = name.split(".")
+            if head in self.numpy_aliases and middle[:1] == ["random"]:
+                return "numpy.random", last
+            if head in self.random_aliases and not middle:
+                return "random", last
+            return None
+        if isinstance(func, ast.Name):
+            origin = self.from_imports.get(func.id)
+            if origin in ("numpy.random", "numpy", "random"):
+                module = "numpy.random" if origin.startswith("numpy") else "random"
+                return module, func.id
+        return None
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+
+class Rule(ABC):
+    """One determinism-contract invariant, checked syntactically."""
+
+    #: The ``REPRO1xx`` family code, spelled ``R1xx`` in findings and
+    #: suppression comments.
+    code: str = ""
+    #: One line for ``repro lint --list-rules`` and the docs table.
+    description: str = ""
+
+    @abstractmethod
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.code}>"
+
+
+def run_rules(
+    rules: Iterable[Rule], context: LintContext
+) -> list[Finding]:
+    """All findings from ``rules`` over one file, unsorted."""
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(context))
+    return findings

@@ -1,0 +1,97 @@
+"""R102 — no nondeterministic seed sources.
+
+The contract's root is one integer entropy value
+(:func:`repro.utils.rng.seed_entropy`); every stream derives from it by
+pure spawn-key arithmetic.  Wall-clock time, OS entropy, and entropy-less
+``SeedSequence()`` (which reads ``os.urandom`` under the hood) are the
+classic ways a "reproducible" run quietly stops being one — they are
+allowed only inside ``utils/rng.py``, where the ``seed=None`` →
+fresh-entropy conversion is *supposed* to live, and nowhere else.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import LintContext, Rule, dotted_name
+
+#: Dotted-call suffixes that read a nondeterministic source.  Matched
+#: against the full dotted name's tail so both ``time.time()`` and
+#: ``import time as t; t.time()`` resolve (module aliases for these are
+#: rare enough that suffix matching is the right cost/benefit).
+NONDETERMINISTIC_CALLS = {
+    "time.time": "wall-clock seed source",
+    "time.time_ns": "wall-clock seed source",
+    "datetime.now": "wall-clock seed source",
+    "datetime.utcnow": "wall-clock seed source",
+    "os.urandom": "OS entropy",
+    "os.getrandom": "OS entropy",
+    "uuid.uuid1": "time/MAC-derived entropy",
+    "uuid.uuid4": "OS entropy",
+    "secrets.token_bytes": "OS entropy",
+    "secrets.token_hex": "OS entropy",
+    "secrets.randbits": "OS entropy",
+}
+
+
+def _is_entropyless_seed_sequence(call: ast.Call, context: LintContext) -> bool:
+    """``SeedSequence()`` with no positional entropy and no ``entropy=``
+    keyword (or an explicit ``entropy=None``) draws fresh OS entropy."""
+    func = call.func
+    name = dotted_name(func)
+    is_seed_sequence = False
+    if name is not None and "." in name:
+        head, *rest = name.split(".")
+        is_seed_sequence = (
+            head in context.numpy_aliases and rest[-1] == "SeedSequence"
+        )
+    elif isinstance(func, ast.Name) and func.id == "SeedSequence":
+        origin = context.from_imports.get("SeedSequence", "")
+        is_seed_sequence = origin.startswith("numpy")
+    if not is_seed_sequence:
+        return False
+    if call.args:
+        return False
+    for keyword in call.keywords:
+        if keyword.arg == "entropy":
+            return isinstance(keyword.value, ast.Constant) and (
+                keyword.value.value is None
+            )
+        if keyword.arg is None:  # **kwargs — can't see inside; trust it
+            return False
+    return True
+
+
+class SeedSourceRule(Rule):
+    code = "R102"
+    description = (
+        "no nondeterministic seed sources (time.time, os.urandom, "
+        "entropy-less SeedSequence()) outside utils/rng.py"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if context.config.is_seed_source_seam(context.module):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is not None:
+                for suffix, kind in NONDETERMINISTIC_CALLS.items():
+                    if name == suffix or name.endswith("." + suffix):
+                        yield context.finding(
+                            node,
+                            self.code,
+                            f"nondeterministic seed source {suffix} ({kind}) — "
+                            f"derive entropy via repro.utils.rng.seed_entropy",
+                        )
+                        break
+            if _is_entropyless_seed_sequence(node, context):
+                yield context.finding(
+                    node,
+                    self.code,
+                    "entropy-less SeedSequence() draws fresh OS entropy — "
+                    "pass explicit entropy or use repro.utils.rng.seed_entropy",
+                )

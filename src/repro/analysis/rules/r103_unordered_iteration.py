@@ -1,0 +1,109 @@
+"""R103 — unordered iteration in hot-path modules.
+
+In ``rrset/`` and ``algorithms/tirm.py``, iteration order feeds seed
+selection and pool splicing, so iterating a ``set``/``frozenset`` —
+whose order depends on hash seeding and insertion history — is a
+determinism bug even when every element is eventually visited.  The rule
+is syntactic: it flags *set-producing expressions* (literals,
+comprehensions, ``set()``/``frozenset()`` calls, set-algebra methods)
+consumed by an order-sensitive sink (``for`` targets, comprehension
+sources, ``list``/``tuple``/``enumerate``/``iter``/``np.fromiter``,
+``str.join``).  Order-insensitive consumers — ``sorted``, ``min``,
+``max``, ``sum``, ``len``, ``any``, ``all``, membership — are fine and
+are the suggested fix.
+
+Plain dict / ``.values()`` / ``.keys()`` iteration is deliberately *not*
+flagged: Python dicts iterate in insertion order, and the hot paths rely
+on that (e.g. TIRM's marginal-coverage maps sum revenue in insertion
+order).  The invariant to protect there is *what order things were
+inserted in*, which is a dataflow property no syntactic rule can check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import LintContext, Rule
+
+#: ``x.union(y)`` and friends return sets whatever ``x`` is typed as
+#: here — method names specific enough that false positives are rare.
+SET_ALGEBRA_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+#: Builtins whose *argument* order flows into their output order.
+ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_producing(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in SET_ALGEBRA_METHODS:
+            return True
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    code = "R103"
+    description = (
+        "no order-sensitive iteration over sets in hot-path modules "
+        "(rrset/, algorithms/tirm.py) — wrap in sorted()"
+    )
+
+    def _finding(self, context: LintContext, node: ast.AST, sink: str) -> Finding:
+        return context.finding(
+            node,
+            self.code,
+            f"iteration order of a set is not deterministic, and here it "
+            f"feeds {sink} in a hot-path module — wrap in sorted() (or keep "
+            f"an explicitly ordered container)",
+        )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if not context.config.is_hot_path(context.module):
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_producing(node.iter):
+                    yield self._finding(context, node.iter, "a for loop")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for comp in node.generators:
+                    if _is_set_producing(comp.iter):
+                        yield self._finding(context, comp.iter, "a comprehension")
+            elif isinstance(node, ast.SetComp):
+                # A set comprehension's own output is unordered anyway;
+                # what matters is where *it* flows, which the Call /
+                # for-loop cases above catch.
+                continue
+            elif isinstance(node, ast.Call):
+                func = node.func
+                args = node.args
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in ORDER_SENSITIVE_CALLS
+                    and args
+                    and _is_set_producing(args[0])
+                ):
+                    yield self._finding(context, args[0], f"{func.id}()")
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "fromiter"
+                    and args
+                    and _is_set_producing(args[0])
+                ):
+                    yield self._finding(context, args[0], "np.fromiter()")
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and args
+                    and _is_set_producing(args[0])
+                ):
+                    yield self._finding(context, args[0], "str.join()")
+            elif isinstance(node, ast.Starred) and _is_set_producing(node.value):
+                yield self._finding(context, node.value, "argument unpacking")

@@ -1,0 +1,127 @@
+"""R104 — every created shared-memory segment needs a reachable unlink.
+
+``SharedMemory(create=True)`` allocates a kernel object that outlives
+the process; a path that exits without ``unlink()`` leaks ``/dev/shm``
+until reboot.  The engine's transport code unlinks exactly once on every
+path (PR 6), and this rule keeps it that way: a scope that creates a
+segment must contain an ``unlink()`` on its *success* flow (plain
+statements, ``try`` body, or ``finally``) **and** one on an *error*
+flow (``except`` handler or ``finally``).
+
+The rule is scope-local by design — it cannot see ownership handoffs,
+where the creator returns the segment name and a different scope
+unlinks (the descriptor transport does exactly this).  Those sites are
+correct by a cross-scope argument the linter cannot check, and carry a
+``# reprolint: disable=R104`` with the justification in the comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import LintContext, Rule, dotted_name
+
+
+def _creates_segment(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    if name is None or name.split(".")[-1] != "SharedMemory":
+        return False
+    for keyword in call.keywords:
+        if keyword.arg == "create":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
+class _ScopeScan(ast.NodeVisitor):
+    """Collect, within one function scope, the segment-create calls and
+    where unlink calls sit relative to error handling."""
+
+    def __init__(self) -> None:
+        self.creates: list[ast.Call] = []
+        self.success_unlink = False
+        self.error_unlink = False
+        self._in_error_flow = 0
+
+    # Nested scopes are scanned separately — don't descend.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for child in node.body + node.orelse:
+            self.visit(child)
+        self._in_error_flow += 1
+        for handler in node.handlers:
+            self.visit(handler)
+        self._in_error_flow -= 1
+        # ``finally`` runs on both flows.
+        for child in node.finalbody:
+            self.visit(child)
+            for sub in ast.walk(child):
+                if self._is_unlink(sub):
+                    self.error_unlink = True
+
+    def _is_unlink(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "unlink"
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _creates_segment(node):
+            self.creates.append(node)
+        if self._is_unlink(node):
+            if self._in_error_flow:
+                self.error_unlink = True
+            else:
+                self.success_unlink = True
+        self.generic_visit(node)
+
+
+class SharedMemoryUnlinkRule(Rule):
+    code = "R104"
+    description = (
+        "SharedMemory(create=True) needs a reachable unlink() on every "
+        "path of its scope (success and error)"
+    )
+
+    def _scopes(self, tree: ast.Module):
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for scope in self._scopes(context.tree):
+            scan = _ScopeScan()
+            body = scope.body if not isinstance(scope, ast.Module) else scope.body
+            for statement in body:
+                scan.visit(statement)
+            if not scan.creates:
+                continue
+            missing = []
+            if not scan.success_unlink:
+                missing.append("success path")
+            if not scan.error_unlink:
+                missing.append("error path (except/finally)")
+            if not missing:
+                continue
+            for call in scan.creates:
+                yield context.finding(
+                    call,
+                    self.code,
+                    f"SharedMemory(create=True) without a reachable unlink() "
+                    f"on the {' or '.join(missing)} of this scope — leak on "
+                    f"/dev/shm; if ownership transfers to another scope, "
+                    f"suppress with the justification in the comment",
+                )

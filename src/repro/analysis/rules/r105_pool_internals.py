@@ -1,0 +1,43 @@
+"""R105 — no raw pool-buffer access outside ``pool.py``.
+
+``RRSetPool``'s flat CSR buffers (``_members``, ``_indptr``) reallocate
+on growth; a view captured elsewhere silently aliases a *retired* buffer
+after the next append — the PR-2 bug class, fixed then by the
+self-healing ``CSRSetView``.  Every external consumer must go through
+the pool's stable API (``prefix_view``, ``first_k_sets``, ``members``,
+``add_flat`` / ``add_flat_from_buffer``), which is generation-checked.
+This rule fences the buffers off syntactically: any ``._members`` /
+``._indptr`` attribute access outside ``pool.py`` is flagged, whatever
+object it syntactically hangs on — a private name that specific appearing
+outside its owner is wrong even when it is not literally a pool.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import LintContext, Rule
+
+
+class PoolInternalsRule(Rule):
+    code = "R105"
+    description = (
+        "no raw RRSetPool buffer access (._members / ._indptr) outside "
+        "rrset/pool.py — use prefix_view()/add_flat*()"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if context.config.is_pool_module(context.module):
+            return
+        private = context.config.pool_private_attrs
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Attribute) and node.attr in private:
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"raw pool buffer access .{node.attr} outside pool.py — "
+                    f"buffers reallocate on growth (aliasing bug class); use "
+                    f"prefix_view()/first_k_sets()/add_flat*() instead",
+                )

@@ -1,0 +1,53 @@
+"""Inline suppression comments: ``# reprolint: disable=CODE``.
+
+A finding is suppressed when the physical line it is reported on (the
+AST node's ``lineno``) carries a disable comment naming its code — or
+naming ``all``.  Multi-line statements anchor findings at the statement
+head, so that is where the comment goes.
+
+Grammar (whitespace-tolerant)::
+
+    # reprolint: disable=R101
+    # reprolint: disable=R101,R104  -- justification text after is fine
+    # reprolint: disable=all
+
+Suppressions are *per line*, deliberately: a file-wide waiver belongs in
+:class:`~repro.analysis.config.AnalysisConfig`'s seam lists, where it is
+reviewable as policy rather than scattered as comments.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.findings import Finding
+
+_DISABLE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_*,\s]+)")
+
+#: The wildcard token: suppresses every rule on the line.
+ALL = "all"
+
+
+def line_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the codes disabled on that line."""
+    table: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_RE.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            token.strip().upper() if token.strip().lower() != ALL else ALL
+            for token in match.group(1).split(",")
+            if token.strip()
+        )
+        if codes:
+            table[lineno] = codes
+    return table
+
+
+def is_suppressed(finding: Finding, suppressions: dict[int, frozenset[str]]) -> bool:
+    """Whether the finding's line disables its code (or ``all``)."""
+    codes = suppressions.get(finding.line)
+    if codes is None:
+        return False
+    return ALL in codes or finding.code.upper() in codes

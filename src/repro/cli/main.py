@@ -40,6 +40,7 @@ _ALLOCATORS: dict[str, Callable[..., object]] = {
         checkpoint_path=getattr(args, "checkpoint", None),
         checkpoint_every=getattr(args, "checkpoint_every", None),
         resume_from=_resume_path(args),
+        dsan=True if getattr(args, "dsan", False) else None,
     ),
     "greedy": lambda args: GreedyAllocator(num_runs=args.mc_runs, seed=args.seed),
     "myopic": lambda args: MyopicAllocator(),
@@ -130,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "prefetch (TIRM only; prefetch never changes "
                                "the allocation, only overlaps sampling with "
                                "greedy selection)")
+    allocate.add_argument("--dsan", action="store_true",
+                          help="enable the runtime determinism sanitizer "
+                               "(TIRM only): record a blake2 digest per "
+                               "(ad, chunk) RR block and a whole-run "
+                               "dsan_root fingerprint in the stats; "
+                               "REPRO_DSAN=1 does the same without the flag")
     allocate.add_argument("--checkpoint", default=None, metavar="PATH",
                           help="snapshot the TIRM allocation to PATH at "
                                "iteration boundaries (atomic overwrite; with "
@@ -160,6 +167,17 @@ def build_parser() -> argparse.ArgumentParser:
     im.add_argument("--k", type=int, default=10)
     im.add_argument("--epsilon", type=float, default=0.2)
     im.add_argument("--seed", type=int, default=0)
+
+    lint = commands.add_parser(
+        "lint",
+        help="determinism-contract linter (REPRO1xx rules; exit 1 on findings)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run, e.g. R101,R105")
+    lint.add_argument("--list-rules", action="store_true", dest="list_rules",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -212,6 +230,10 @@ def _cmd_allocate(args) -> int:
         )
         print(f"checkpoint: {lineage['path']} "
               f"({lineage['written']} written, {origin})")
+    dsan_root = (result.allocation.provenance or {}).get("dsan_root")
+    if dsan_root is not None:
+        print(f"dsan: {len(result.stats.get('dsan_digests', {}))} chunk "
+              f"digests recorded, root {dsan_root}")
     rows = [
         ["total regret (MC)", report.total_regret],
         ["relative to budget", report.regret.relative_to_budget()],
@@ -298,12 +320,26 @@ def _cmd_im(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Lazy import: the analysis package is stdlib-ast machinery the
+    # allocation paths never need.
+    from repro.analysis import linter
+
+    argv = list(args.paths)
+    if args.select is not None:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return linter.run(argv)
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "allocate": _cmd_allocate,
     "figure1": _cmd_figure1,
     "bounds": _cmd_bounds,
     "im": _cmd_im,
+    "lint": _cmd_lint,
 }
 
 

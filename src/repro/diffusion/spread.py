@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.diffusion.exact import exact_spread
 from repro.diffusion.ic import simulate_clicks
+from repro.utils.rng import keyed_generator
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle:
     # advertising.advertiser -> topics -> topics.learning -> diffusion
@@ -111,6 +112,10 @@ class MonteCarloSpreadOracle(CachingSpreadOracle):
         seed_array = np.fromiter(seeds, dtype=np.int64)
         total = 0
         for run_seed in self._run_seeds:
-            rng = np.random.default_rng([int(run_seed), ad])
+            # Common random numbers, keyed by (run, ad): the stream is a
+            # pure function of the key, so every evaluation of ad ``ad``
+            # replays the same possible worlds (stream-identical to the
+            # historical np.random.default_rng([run_seed, ad]) call).
+            rng = keyed_generator(int(run_seed), ad)
             total += int(simulate_clicks(graph, probs, seed_array, ctps=ctps, rng=rng).sum())
         return total / self.num_runs

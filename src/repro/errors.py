@@ -38,6 +38,27 @@ class CheckpointError(ReproError):
     unsupported version."""
 
 
+class DeterminismError(ReproError):
+    """Raised by the runtime determinism sanitizer (``dsan``) when two
+    runs that the contract requires to be byte-identical diverge — names
+    the first divergent ``(ad, chunk)`` so the offending stream address
+    is pinpointed instead of a whole-pool mismatch.
+
+    Attributes
+    ----------
+    ad / chunk:
+        The stream address of the first divergent chunk (``None`` when
+        the divergence is structural, e.g. a chunk recorded by only one
+        run).
+    """
+
+    def __init__(self, message: str, *, ad: int | None = None,
+                 chunk: int | None = None) -> None:
+        super().__init__(message)
+        self.ad = ad
+        self.chunk = chunk
+
+
 class EstimationError(ReproError):
     """Raised when a spread/coverage estimator cannot produce an estimate
     (for example an empty RR-set collection)."""

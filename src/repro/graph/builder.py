@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import GraphError
 from repro.graph.digraph import DirectedGraph
 
 

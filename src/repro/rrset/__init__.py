@@ -19,6 +19,11 @@
   ``(ad, chunk)`` stream tasks served serially or over a process pool
   (byte-identical for the same ``(seed, chunk_size)``, any worker
   count);
+* :mod:`repro.rrset.dsan` — the runtime determinism sanitizer: blake2
+  digests per ``(ad, chunk)`` block spliced by the sharded engine
+  (``dsan=True`` / ``REPRO_DSAN=1``), with
+  :func:`~repro.rrset.dsan.compare_digests` raising
+  :class:`~repro.errors.DeterminismError` at the first divergent chunk;
 * :mod:`repro.rrset.checkpoint` — crash-safe checkpoint/resume for
   in-flight TIRM allocations: a small versioned artifact that re-derives
   RR members from the counter-based streams on load (legacy streams
@@ -44,6 +49,7 @@ from repro.rrset.checkpoint import (
     TIRMCheckpoint,
     save_checkpoint,
 )
+from repro.rrset.dsan import DsanRecorder, compare_digests, dsan_enabled
 from repro.rrset.estimator import RRSetSpreadOracle, estimate_spread_from_sets
 from repro.rrset.pool import CSRSetView, RRSetPool
 from repro.rrset.rrc import sample_rrc_set, sample_rrc_sets, sample_rrc_sets_into
@@ -91,6 +97,9 @@ __all__ = [
     "RRSetPool",
     "CSRSetView",
     "ShardedSamplingEngine",
+    "DsanRecorder",
+    "compare_digests",
+    "dsan_enabled",
     "TIRMCheckpoint",
     "save_checkpoint",
     "CHECKPOINT_FORMAT_VERSION",

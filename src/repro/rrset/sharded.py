@@ -95,6 +95,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DirectedGraph
 from repro.rrset.backends import resolve_backend
+from repro.rrset.dsan import DsanRecorder, dsan_enabled
 from repro.rrset.pool import MEMBER_DTYPE, RRSetPool
 from repro.rrset.sampler import (
     DEFAULT_CHUNK_SIZE,
@@ -145,7 +146,7 @@ def _publish_block(members: np.ndarray, lengths: np.ndarray) -> tuple[str, int, 
     mapping immediately; the parent owns the segment's single unlink."""
     lengths = np.ascontiguousarray(lengths, dtype=_LENGTH_DTYPE)
     members = np.ascontiguousarray(members, dtype=MEMBER_DTYPE)
-    segment = shared_memory.SharedMemory(
+    segment = shared_memory.SharedMemory(  # reprolint: disable=R104 -- ownership transfers: the parent unlinks at splice (_splice_segment) or drain (_drain_futures/_release_engine_resources); the error path below unlinks locally
         create=True, size=max(lengths.nbytes + members.nbytes, 1)
     )
     try:
@@ -370,6 +371,20 @@ class ShardedSamplingEngine:
         fork nor a shared-memory-capable spawn is usable, the engine
         degrades to serial sampling with a warning.  **Not** part of the
         determinism contract.
+    dsan:
+        Runtime determinism sanitizer (:mod:`repro.rrset.dsan`):
+        ``True`` keeps a blake2 digest per ``(ad, chunk)`` over every
+        block spliced into the shards, readable via
+        :meth:`dsan_digests` / :meth:`dsan_root`.  ``None`` (default)
+        defers to the ``REPRO_DSAN`` environment variable.  Recording
+        is pure observation — a sanitized run is byte-identical to an
+        unsanitized one.
+    dsan_expected:
+        Optional reference digest map (a prior run's
+        :meth:`dsan_digests`).  Implies ``dsan``; every recorded chunk
+        is checked inline and the first divergence raises
+        :class:`~repro.errors.DeterminismError` naming its
+        ``(ad, chunk)``.
 
     Examples
     --------
@@ -402,6 +417,8 @@ class ShardedSamplingEngine:
         backend="numpy",
         transport: str = "auto",
         start_method: str = "auto",
+        dsan: bool | None = None,
+        dsan_expected: Mapping | None = None,
     ) -> None:
         if mode not in SAMPLER_MODES:
             raise ConfigurationError(
@@ -486,6 +503,18 @@ class ShardedSamplingEngine:
         self._max_workers = max_workers
         self._engine_id = next(_ENGINE_IDS)
         self._warned_degraded = False
+        # Determinism sanitizer: an explicit expected map implies dsan
+        # (there is nothing to check the map against otherwise).
+        self._dsan: DsanRecorder | None = (
+            DsanRecorder(
+                expected=dsan_expected, label=f"engine#{self._engine_id}"
+            )
+            if dsan_enabled(dsan) or dsan_expected is not None
+            else None
+        )
+        # Legacy streams have no chunk addresses; dsan keys them by the
+        # per-ad request ordinal instead (see repro.rrset.dsan).
+        self._legacy_ordinals: dict[int, int] = {}
         # Speculative prefetch ledger: (ad, chunk) -> in-flight future.
         # Shared with the teardown resources so close() can cancel and
         # drain it even from the GC finalizer (which cannot see self).
@@ -545,6 +574,29 @@ class ShardedSamplingEngine:
         """The resolved worker start method (``"fork"`` or ``"spawn"``),
         or ``None`` for serial engines and degraded process engines."""
         return self._start_method
+
+    @property
+    def dsan(self) -> bool:
+        """Whether the determinism sanitizer is recording on this engine."""
+        return self._dsan is not None
+
+    def dsan_digests(self) -> dict[tuple[int, int], str]:
+        """Copy of the sanitizer's digest map (``{}`` when dsan is off).
+
+        Keys are ``(ad, chunk_index)`` stream addresses under
+        ``rng="philox"`` and ``(ad, request_ordinal)`` under
+        ``rng="legacy"``; values are blake2 hexdigests of the full
+        packed chunk block.  Two engines asked to reach the same targets
+        must produce equal maps (:func:`repro.rrset.dsan.compare_digests`
+        raises at the first divergent chunk when they do not).
+        """
+        return {} if self._dsan is None else dict(self._dsan.digests)
+
+    def dsan_root(self) -> str | None:
+        """One digest over the whole digest map — the compact run
+        fingerprint recorded in TIRM stats/provenance (``None`` when
+        dsan is off)."""
+        return None if self._dsan is None else self._dsan.root_digest()
 
     def shard(self, ad: int) -> RRSetPool:
         """The advertiser's RR-set pool shard."""
@@ -723,7 +775,18 @@ class ShardedSamplingEngine:
     def _sample_serial_legacy(self, requests: dict[int, int]) -> None:
         for ad in sorted(requests):
             sampler, shard, count = self._samplers[ad], self._shards[ad], requests[ad]
-            if self.mode == "blocked":
+            if self._dsan is not None:
+                # Same streams and same pool state as the *_into paths
+                # (sample_flat is the documented bit-exact equivalent),
+                # but routed through a packed block so it can be hashed.
+                # Legacy streams have no chunk addresses, so the digest
+                # key is the per-ad request ordinal.
+                members, lengths = sampler.sample_flat(count, mode=self.mode)
+                ordinal = self._legacy_ordinals.get(ad, 0)
+                self._legacy_ordinals[ad] = ordinal + 1
+                self._dsan.record(ad, ordinal, members, lengths)
+                shard.add_flat(members, lengths)
+            elif self.mode == "blocked":
                 sampler.sample_blocked_into(shard, count)
             else:
                 sampler.sample_into(shard, count)
@@ -739,6 +802,11 @@ class ShardedSamplingEngine:
     ) -> None:
         """Append sets ``[lo, hi)`` of the chunk to the ad's shard and
         cache the block when the chunk is still partially consumed."""
+        if self._dsan is not None:
+            # Digest the *full* chunk block (workers always compute whole
+            # chunks), so serial, pickle, shm and tail-cache arrivals of
+            # the same chunk hash the same bytes by construction.
+            self._dsan.record(ad, chunk_index, block[0], block[1])
         members, lengths = _slice_flat(block[0], block[1], lo, hi)
         self._shards[ad].add_flat(members, lengths)
         self._samplers[ad].num_sampled += hi - lo
@@ -764,6 +832,18 @@ class ShardedSamplingEngine:
             bounds = np.zeros(num_sets + 1, dtype=np.int64)
             np.cumsum(lengths, out=bounds[1:])
             members_offset = num_sets * _LENGTH_ITEMSIZE
+            if self._dsan is not None:
+                # Same full-chunk digest as _splice_block, straight off
+                # the segment (zero-copy views; a divergence raises here
+                # and the finally below still retires the segment).
+                members_view = np.frombuffer(
+                    segment.buf, dtype=MEMBER_DTYPE, count=num_members,
+                    offset=members_offset,
+                )
+                try:
+                    self._dsan.record(ad, chunk_index, members_view, lengths)
+                finally:
+                    del members_view
             self._shards[ad].add_flat_from_buffer(
                 segment.buf,
                 num_sets=hi - lo,
@@ -947,7 +1027,7 @@ class ShardedSamplingEngine:
                 offset = (offset + 7) & ~7  # 8-byte align every block
                 layout.append((key, array.dtype.str, int(array.size), offset))
                 offset += array.nbytes
-            arena = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+            arena = shared_memory.SharedMemory(create=True, size=max(offset, 1))  # reprolint: disable=R104 -- arena outlives this call by design; _release_engine_resources owns the single unlink (close/GC-finalizer), the error path below unlinks locally
             try:
                 for (key, dtype, count, off), (_, array) in zip(layout, parts):
                     np.frombuffer(

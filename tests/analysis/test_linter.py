@@ -1,0 +1,203 @@
+"""Driver-level tests: file discovery, suppressions, report format,
+exit codes, the ``python -m repro.analysis`` / ``repro lint`` entry
+points — and the linter's self-application to this repo's ``src/``.
+"""
+
+from __future__ import annotations
+
+import io
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import lint_file, lint_paths
+from repro.analysis.findings import Finding, format_report
+from repro.analysis.linter import (
+    PARSE_ERROR_CODE,
+    build_parser,
+    iter_python_files,
+    main,
+    run,
+)
+from repro.analysis.suppressions import is_suppressed, line_suppressions
+from repro.errors import ConfigurationError
+
+SRC_PACKAGE = Path(repro.__file__).resolve().parent
+
+VIOLATION = (
+    "import numpy as np\n"
+    "rng = np.random.default_rng(3)\n"
+)
+
+
+def _write(tmp_path, relpath: str, source: str):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Self-application: the shipped tree satisfies its own contract
+# ----------------------------------------------------------------------
+def test_repro_src_is_clean():
+    out = io.StringIO()
+    assert run([str(SRC_PACKAGE)], out=out) == 0
+    assert "repro lint: clean" in out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Discovery
+# ----------------------------------------------------------------------
+def test_iter_python_files_skips_caches_and_dedups(tmp_path):
+    keep = _write(tmp_path, "pkg/a.py", "x = 1\n")
+    _write(tmp_path, "pkg/__pycache__/a.cpython-311.py", "x = 1\n")
+    _write(tmp_path, "pkg/.pytest_cache/b.py", "x = 1\n")
+    _write(tmp_path, "pkg/note.txt", "not python\n")
+    files = iter_python_files([tmp_path, keep, tmp_path / "pkg"])
+    assert files == [keep]
+
+
+def test_missing_path_is_a_configuration_error(tmp_path):
+    with pytest.raises(ConfigurationError, match="no such file"):
+        lint_paths([tmp_path / "nope"])
+    assert main([str(tmp_path / "nope")]) == 2
+
+
+# ----------------------------------------------------------------------
+# Parse errors
+# ----------------------------------------------------------------------
+def test_unparsable_file_reports_r100(tmp_path):
+    path = _write(tmp_path, "broken.py", "def f(:\n")
+    findings = lint_file(path)
+    assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+    assert "does not parse" in findings[0].message
+    assert run([str(path)], out=io.StringIO()) == 1
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_inline_suppression_silences_named_code(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/x.py",
+        "import numpy as np\n"
+        "rng = np.random.default_rng(3)  # reprolint: disable=R101 -- test seam\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_suppression_of_other_code_does_not_apply(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/x.py",
+        "import numpy as np\n"
+        "rng = np.random.default_rng(3)  # reprolint: disable=R105\n",
+    )
+    assert [f.code for f in lint_file(path)] == ["R101"]
+
+
+def test_suppression_wildcard_and_parsing():
+    table = line_suppressions(
+        "a = 1\n"
+        "b = 2  # reprolint: disable=R101, r104\n"
+        "c = 3  # reprolint: disable=all\n"
+    )
+    assert table == {2: frozenset({"R101", "R104"}), 3: frozenset({"all"})}
+    assert is_suppressed(Finding("f.py", 3, 0, "R105", "m"), table)
+    assert is_suppressed(Finding("f.py", 2, 0, "R104", "m"), table)
+    assert not is_suppressed(Finding("f.py", 2, 0, "R105", "m"), table)
+    assert not is_suppressed(Finding("f.py", 1, 0, "R105", "m"), table)
+
+
+def test_suppression_is_line_scoped(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/x.py",
+        "import numpy as np\n"
+        "# reprolint: disable=R101\n"
+        "rng = np.random.default_rng(3)\n",
+    )
+    # The comment sits on its own line, not the finding's line: no effect.
+    assert [f.code for f in lint_file(path)] == ["R101"]
+
+
+# ----------------------------------------------------------------------
+# Report format and exit codes
+# ----------------------------------------------------------------------
+def test_report_format_compiler_shape(tmp_path):
+    path = _write(tmp_path, "repro/x.py", VIOLATION)
+    out = io.StringIO()
+    assert run([str(path)], out=out) == 1
+    lines = out.getvalue().splitlines()
+    assert lines[0].startswith(f"{path}:2:7: R101 ")
+    assert lines[-1] == "repro lint: 1 finding"
+
+
+def test_format_report_clean_and_plural():
+    assert format_report([]) == "repro lint: clean"
+    two = [
+        Finding("a.py", 1, 0, "R101", "m"),
+        Finding("a.py", 2, 0, "R102", "m"),
+    ]
+    assert format_report(two).splitlines()[-1] == "repro lint: 2 findings"
+
+
+def test_select_restricts_rules(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/x.py",
+        "import numpy as np\n"
+        "rng = np.random.default_rng(3)\n"
+        "raw = pool._members\n",
+    )
+    out = io.StringIO()
+    assert run([str(path), "--select", "R105"], out=out) == 1
+    assert "R101" not in out.getvalue()
+    assert "R105" in out.getvalue()
+
+
+def test_select_unknown_code_exits_2(capsys):
+    assert main(["--select", "R999"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_list_rules_prints_catalog():
+    out = io.StringIO()
+    assert run(["--list-rules"], out=out) == 0
+    text = out.getvalue()
+    for code in ("R101", "R102", "R103", "R104", "R105"):
+        assert code in text
+
+
+def test_parser_defaults_to_src():
+    args = build_parser().parse_args([])
+    assert args.paths == ["src"]
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def test_python_dash_m_entry_point(tmp_path):
+    path = _write(tmp_path, "repro/x.py", VIOLATION)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(path)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC_PACKAGE.parent), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert "R101" in proc.stdout
+    clean = _write(tmp_path, "repro/clean.py", "x = 1\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(clean)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC_PACKAGE.parent), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0
+    assert "repro lint: clean" in proc.stdout

@@ -282,3 +282,55 @@ def test_incompatible_resume_surfaces_clean_error(tmp_path, capsys):
     assert code == 2
     err = capsys.readouterr().err
     assert err.startswith("error:") and "incompatible" in err
+
+
+# ----------------------------------------------------------------------
+# repro lint
+# ----------------------------------------------------------------------
+def test_lint_subcommand_clean_on_shipped_src(capsys):
+    import repro
+    from pathlib import Path
+
+    src = str(Path(repro.__file__).resolve().parent)
+    assert main(["lint", src]) == 0
+    assert "repro lint: clean" in capsys.readouterr().out
+
+
+def test_lint_subcommand_reports_violations(tmp_path, capsys):
+    bad = tmp_path / "stray.py"
+    bad.write_text(
+        "import numpy as np\nrng = np.random.default_rng(1)\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "R101" in out and "repro lint: 1 finding" in out
+
+
+def test_lint_select_and_list_rules(tmp_path, capsys):
+    bad = tmp_path / "stray.py"
+    bad.write_text(
+        "import numpy as np\nrng = np.random.default_rng(1)\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", str(tmp_path), "--select", "R105"]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("R101", "R102", "R103", "R104", "R105"):
+        assert code in out
+
+
+def test_lint_bad_select_exits_2(capsys):
+    assert main(["lint", "--select", "R999"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_allocate_dsan_flag(capsys):
+    code = main([
+        "allocate", "figure1", "--algorithm", "tirm", "--dsan",
+        "--eval-runs", "50", "--max-rr-sets", "1000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "dsan:" in out and "root" in out
