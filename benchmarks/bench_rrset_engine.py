@@ -16,10 +16,14 @@ recorded in CHANGES.md; run standalone with
 ``PYTHONPATH=src python benchmarks/bench_rrset_engine.py``.
 
 Additional sections: the sharded pilot phase and single-ad growth
-top-up (serial vs process, byte-equality asserted), and the sampling
+top-up (serial vs process, byte-equality asserted), the sampling
 *backend* comparison (numpy reference vs numba JIT kernel on the same
 stream — byte-equality asserted, speedup reported; see
-``docs/rrset_engine.md`` §backends).
+``docs/rrset_engine.md`` §backends), and the shard-cache section (TIRM
+cold populate vs warm zero-sampling rerun — identical allocation and
+zero backend invocations asserted, speedup reported).  With ``--cache
+DIR`` (or ``$REPRO_CACHE``), ``--json`` runs also append their section
+rows to that cache's experiment catalog (``repro ls --benchmarks``).
 """
 
 from __future__ import annotations
@@ -60,8 +64,10 @@ BACKEND_SCALE = 0.003
 TRANSPORT_THETA = 8_000
 #: Prefetch section: TIRM with speculative θ-growth prefetch on vs off.
 PREFETCH_RR_CAP = 6_000
+#: Shard-cache section: TIRM cold (populating) vs warm (zero sampling).
+SHARD_CACHE_RR_CAP = 6_000
 #: Default artifact path for ``--json`` (see ``write_json_report``).
-JSON_REPORT = os.path.join(os.path.dirname(__file__), "BENCH_PR6.json")
+JSON_REPORT = os.path.join(os.path.dirname(__file__), "BENCH_PR8.json")
 
 
 def run_engine_cycle(
@@ -307,6 +313,44 @@ def _prefetch_rows(max_rr_sets: int = PREFETCH_RR_CAP, scale: float = SHARDED_SC
     ]
 
 
+def _shard_cache_rows(
+    max_rr_sets: int = SHARD_CACHE_RR_CAP, scale: float = SHARDED_SCALE
+):
+    """TIRM cold (populating an empty shard cache) vs warm (every block
+    served from it): the warm run must perform **zero** sampling-backend
+    invocations and allocate byte-identically (both asserted).  The
+    speedup is the whole point of the store, but it is *reported*, never
+    asserted — on a loaded runner the cold wall-clock is noise."""
+    import tempfile
+
+    problem = dblp_like(scale=scale, num_ads=3, seed=13)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+
+        def run() -> tuple[float, object]:
+            allocator = TIRMAllocator(
+                seed=0, epsilon=0.3, max_rr_sets_per_ad=max_rr_sets,
+                chunk_size=512, cache=cache_dir, dataset="bench-dblp",
+            )
+            t0 = time.perf_counter()
+            result = allocator.allocate(problem)
+            return time.perf_counter() - t0, result
+
+        t_cold, cold = run()
+        t_warm, warm = run()
+    assert cold.stats["backend_invocations"] > 0
+    assert warm.stats["backend_invocations"] == 0
+    assert warm.stats["cache"]["hits"] > 0
+    assert warm.allocation == cold.allocation
+    assert np.array_equal(warm.estimated_revenues, cold.estimated_revenues)
+    assert warm.stats["theta_per_ad"] == cold.stats["theta_per_ad"]
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    return [
+        ["shard-cache", problem.num_nodes, "cold", 3, max_rr_sets, t_cold, 1.0],
+        ["shard-cache", problem.num_nodes, "warm", 3, max_rr_sets, t_warm, speedup],
+    ]
+
+
 _SECTION_COLUMNS = ("phase", "n", "variant", "ads", "theta", "wall_s", "speedup")
 
 
@@ -322,6 +366,7 @@ def write_json_report(
     growth_theta: int = GROWTH_THETA,
     transport_theta: int = TRANSPORT_THETA,
     prefetch_rr_cap: int = PREFETCH_RR_CAP,
+    shard_cache_rr_cap: int = SHARD_CACHE_RR_CAP,
 ) -> dict:
     """Run every section and write a machine-readable report.
 
@@ -351,6 +396,7 @@ def write_json_report(
             "growth_topup": growth_theta,
             "transport": transport_theta,
             "prefetch_rr_cap": prefetch_rr_cap,
+            "shard_cache_rr_cap": shard_cache_rr_cap,
         },
         "sections": {
             "engine_cycle": cycle,
@@ -358,6 +404,9 @@ def write_json_report(
             "growth_topup": _as_records(_growth_rows(theta=growth_theta)),
             "transport": _as_records(_transport_rows(theta=transport_theta)),
             "prefetch": _as_records(_prefetch_rows(max_rr_sets=prefetch_rr_cap)),
+            "shard_cache": _as_records(
+                _shard_cache_rows(max_rr_sets=shard_cache_rr_cap)
+            ),
         },
     }
     with open(path, "w") as handle:
@@ -485,9 +534,25 @@ def test_prefetch_smoke(run_once):
     )
 
 
+def test_shard_cache_smoke(run_once):
+    """Cold vs warm TIRM through the shard cache: the warm run must
+    perform zero backend invocations and allocate identically (both
+    asserted inside ``_shard_cache_rows``); the speedup is reported,
+    never asserted."""
+    rows = run_once(_shard_cache_rows, max_rr_sets=1_500)
+    print()
+    print(
+        format_table(
+            ["phase", "n", "run", "ads", "rr cap", "wall (s)", "speedup"],
+            rows,
+            title="Shard cache: cold populate vs warm zero-sampling rerun",
+        )
+    )
+
+
 def test_json_report_smoke(tmp_path):
     """``--json`` artifact: every section present, rows well-formed."""
-    path = str(tmp_path / "BENCH_PR6.json")
+    path = str(tmp_path / "BENCH_PR8.json")
     report = write_json_report(
         path,
         cycle_theta=500,
@@ -495,6 +560,7 @@ def test_json_report_smoke(tmp_path):
         growth_theta=1_000,
         transport_theta=300,
         prefetch_rr_cap=1_000,
+        shard_cache_rr_cap=1_000,
     )
     with open(path) as handle:
         on_disk = json.load(handle)
@@ -502,12 +568,49 @@ def test_json_report_smoke(tmp_path):
     sections = on_disk["sections"]
     assert set(sections) == {
         "engine_cycle", "sharded_pilot", "growth_topup", "transport",
-        "prefetch",
+        "prefetch", "shard_cache",
     }
     assert {row["variant"] for row in sections["transport"]} == {"pickle", "shm"}
     assert {row["variant"] for row in sections["prefetch"]} == {"on", "off"}
+    assert {row["variant"] for row in sections["shard_cache"]} == {"cold", "warm"}
     assert all(row["wall_s"] >= 0 for row in sections["transport"])
     assert all(r["total"] > 0 for r in sections["engine_cycle"])
+
+
+def test_report_recorded_to_catalog(tmp_path):
+    """With a cache configured, the section rows land in the catalog's
+    benchmark history (``repro ls --benchmarks`` reads them back)."""
+    from repro.store.catalog import ExperimentCatalog
+
+    report = {
+        "sections": {
+            "engine_cycle": [{"total": 1.0}],
+            "shard_cache": _as_records(
+                [["shard-cache", 100, "warm", 3, 500, 0.1, 4.0]]
+            ),
+        },
+    }
+    record_report_to_catalog(report, str(tmp_path), "BENCH_PR8.json")
+    with ExperimentCatalog(str(tmp_path)) as catalog:
+        (row,) = catalog.list_benchmarks()
+    assert row["phase"] == "shard-cache"
+    assert row["report"] == "BENCH_PR8.json"
+
+
+def record_report_to_catalog(report: dict, cache_dir: str, report_name: str) -> None:
+    """Append every timed section row to ``cache_dir``'s experiment
+    catalog (``benchmarks`` table) so ``repro ls --benchmarks`` tracks
+    bench history next to the allocations that share the cache."""
+    from repro.store.catalog import ExperimentCatalog
+
+    rows = [
+        row
+        for name, section in report["sections"].items()
+        if name != "engine_cycle"
+        for row in section
+    ]
+    with ExperimentCatalog(cache_dir) as catalog:
+        catalog.record_benchmarks(rows, report=report_name)
 
 
 if __name__ == "__main__":
@@ -516,9 +619,19 @@ if __name__ == "__main__":
         "--json", nargs="?", const=JSON_REPORT, default=None, metavar="PATH",
         help=f"write a machine-readable report (default: {JSON_REPORT})",
     )
+    parser.add_argument(
+        "--cache", default=os.environ.get("REPRO_CACHE") or None, metavar="DIR",
+        help="record the report's section rows in this cache directory's "
+             "experiment catalog (default: $REPRO_CACHE when set)",
+    )
     cli_args = parser.parse_args()
     if cli_args.json:
         report = write_json_report(cli_args.json)
+        if cli_args.cache:
+            record_report_to_catalog(
+                report, cli_args.cache, os.path.basename(cli_args.json)
+            )
+            print(f"benchmark rows recorded in catalog at {cli_args.cache}")
         for name, rows in report["sections"].items():
             if name == "engine_cycle":
                 continue
@@ -572,5 +685,11 @@ if __name__ == "__main__":
         label, n, prefetch, ads, cap, wall, speedup = row
         print(
             f"{label:13s} n={n:7d} {prefetch:8s} h={ads} rr_cap={cap} "
+            f"wall={wall:7.3f}s speedup={speedup:5.2f}x"
+        )
+    for row in _shard_cache_rows():
+        label, n, variant, ads, cap, wall, speedup = row
+        print(
+            f"{label:13s} n={n:7d} {variant:8s} h={ads} rr_cap={cap} "
             f"wall={wall:7.3f}s speedup={speedup:5.2f}x"
         )

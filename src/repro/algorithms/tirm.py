@@ -197,6 +197,22 @@ class TIRMAllocator(Allocator):
         fingerprint (also in provenance).  ``None`` (default) defers to
         the ``REPRO_DSAN`` environment variable.  Pure observation: the
         allocation is byte-identical with dsan on or off.
+    cache:
+        Shard cache knob (:mod:`repro.store`): a directory path (or
+        open :class:`~repro.store.ShardCache`) makes sampling
+        read-through over the content-addressed block store, records
+        the finished allocation (with provenance and cache counters) in
+        the store's experiment catalog, and registers every checkpoint's
+        shard references so ``repro gc`` keeps what a resume would
+        re-read.  ``None`` (default) defers to the ``REPRO_CACHE``
+        environment variable.  **Not** part of the determinism
+        contract: a warm run performs zero sampling-backend invocations
+        (``stats["backend_invocations"]``) yet stays byte-identical to
+        a cold one.
+    dataset:
+        Optional label recorded in the experiment catalog's allocation
+        row (shown by ``repro ls``).  The problem object carries no
+        name, so the caller supplies one; purely informational.
     seed:
         Master RNG seed; per-ad samplers get independent child streams.
 
@@ -240,6 +256,8 @@ class TIRMAllocator(Allocator):
         resume_from=None,
         max_iterations: int | None = None,
         dsan: bool | None = None,
+        cache=None,
+        dataset: str | None = None,
         seed=None,
     ) -> None:
         if not 0 < epsilon < 1:
@@ -325,6 +343,11 @@ class TIRMAllocator(Allocator):
         )
         # Tri-state: None defers to REPRO_DSAN at engine construction.
         self.dsan = dsan
+        # Tri-state likewise: None defers to REPRO_CACHE at allocate().
+        self.cache = cache
+        # Pure catalog label (the problem object carries no name): shown
+        # in `repro ls`, never part of any contract.
+        self.dataset = dataset
         self._seed = seed
 
     # ------------------------------------------------------------------
@@ -336,6 +359,23 @@ class TIRMAllocator(Allocator):
 
     # ------------------------------------------------------------------
     def _allocate(self, problem: AdAllocationProblem) -> AllocationResult:
+        # Resolve the shard cache here, above the engine: the catalog
+        # records (allocation row, checkpoint references) land after
+        # sampling finishes, so TIRM owns what it opens and the engine
+        # only shares (and flushes) the instance.  Imported lazily so a
+        # cache-less allocation never touches repro.store.
+        from repro.store.cache import resolve_cache
+
+        cache, cache_owned = resolve_cache(self.cache)
+        try:
+            return self._allocate_with_cache(problem, cache)
+        finally:
+            if cache_owned and cache is not None:
+                cache.close()
+
+    def _allocate_with_cache(
+        self, problem: AdAllocationProblem, cache
+    ) -> AllocationResult:
         h, n = problem.num_ads, problem.num_nodes
         budgets = problem.catalog.budgets()
         cpes = problem.catalog.cpes()
@@ -383,6 +423,7 @@ class TIRMAllocator(Allocator):
             transport=self.transport,
             start_method=self.start_method,
             dsan=self.dsan,
+            cache=cache,
         )
         checkpoints_written = 0
         resumed_at = None
@@ -517,7 +558,13 @@ class TIRMAllocator(Allocator):
             "checkpoints_written": checkpoints_written,
             "resumed_at_iteration": resumed_at,
             "truncated": truncated,
+            # Actual compute performed — the warm-start headline: a run
+            # served entirely from the shard cache reports zero here.
+            "backend_invocations": engine.backend_invocations,
         }
+        cache_stats = engine.cache_stats()
+        if cache_stats is not None:
+            stats["cache"] = cache_stats
         if engine.dsan:
             # Digest maps key on (ad, chunk) tuples; stats serialize to
             # JSON in the CLI, so the keys flatten to "ad:chunk" strings.
@@ -529,6 +576,8 @@ class TIRMAllocator(Allocator):
             # A sanitized run's provenance carries the whole-run RR-byte
             # fingerprint; an unsanitized run's provenance is unchanged.
             allocation.set_provenance(dsan_root=stats["dsan_root"])
+        if cache is not None:
+            self._record_allocation(cache, engine, stats, allocation)
         return AllocationResult(
             algorithm=self.name,
             allocation=allocation,
@@ -594,6 +643,47 @@ class TIRMAllocator(Allocator):
             iterations=iterations,
             lineage=lineage,
         )
+        if engine.cache is not None:
+            # Register the artifact and the shard prefixes a resume
+            # would re-read, so `repro gc` refuses to evict them while
+            # the checkpoint is live.  Re-registration (the artifact is
+            # atomically overwritten each boundary) replaces the row.
+            engine.cache.catalog.record_checkpoint(
+                self.checkpoint_path,
+                iterations=iterations,
+                config=self._checkpoint_config(problem),
+                shard_refs=engine.shard_cache_refs(),
+            )
+
+    def _record_allocation(self, cache, engine, stats: dict, allocation) -> None:
+        """One experiment-catalog row per completed cached allocation:
+        the determinism contract (seed/rng/chunk_size/dsan_root), the
+        substrate provenance (engine/backend/transport), the cache
+        counters, and the full provenance/stats blobs — what
+        ``repro ls / show / diff`` read back."""
+        seed = int(self._seed) if isinstance(self._seed, (int, np.integer)) else None
+        cache.flush()
+        cache.catalog.record_allocation({
+            "algorithm": self.name,
+            "dataset": self.dataset,
+            "seed": seed,
+            "rng": self.rng,
+            "chunk_size": self.chunk_size if self.rng == "philox" else None,
+            "engine": self.engine,
+            "backend": engine.backend_name,
+            "transport": engine.transport,
+            "dsan_root": stats.get("dsan_root"),
+            "iterations": stats["iterations"],
+            "total_rr_sets": stats["total_rr_sets"],
+            "cache_hits": stats["cache"]["hits"],
+            "cache_misses": stats["cache"]["misses"],
+            "backend_invocations": stats["backend_invocations"],
+            "provenance": allocation.provenance or {},
+            "stats": {
+                key: value for key, value in stats.items()
+                if key != "dsan_digests"  # the root fingerprint suffices
+            },
+        })
 
     def _restored_states(
         self, checkpoint: TIRMCheckpoint, engine, allocation: Allocation

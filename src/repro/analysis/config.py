@@ -12,11 +12,19 @@ those locations once, as data, so the rules stay mechanical:
   and ``rrset/backends/base.py`` (the RNG-owning blocked-BFS driver).
 * **Seed-source seam** — only ``utils/rng.py`` may touch nondeterministic
   entropy (entropy-less ``SeedSequence()``, ``os.urandom``, wall-clock).
+  ``store/catalog.py`` is additionally sanctioned: the experiment
+  catalog timestamps rows (``created_at``/``last_used_at``) — pure
+  metadata that never feeds sampling, and the store's one wall-clock
+  seam by declaration.
 * **Hot-path modules** — where iteration order feeds selection or
   splicing (``rrset/``, ``algorithms/tirm.py``), so unordered-container
   iteration is a determinism bug, not a style nit.
 * **Pool module** — the only module allowed to touch ``RRSetPool``'s
   private flat buffers (the PR-2 aliasing bug class).
+* **Resource-hygiene modules** — where R104 additionally enforces
+  file-handle hygiene (``store/``): the shard cache holds block files
+  open across error paths if handles escape ``with`` blocks, so a bare
+  ``open()`` there is a leak bug, not a style nit.
 
 Module identity is the path suffix starting at the ``repro/`` package
 root (posix separators), so the config is independent of where the
@@ -61,13 +69,25 @@ class AnalysisConfig:
             "repro/rrset/backends/base.py",
         }
     )
-    #: Modules allowed to touch nondeterministic seed sources (rule R102).
-    seed_source_modules: frozenset[str] = frozenset({"repro/utils/rng.py"})
+    #: Modules allowed to touch nondeterministic seed sources (rule
+    #: R102).  The experiment catalog is the store's declared wall-clock
+    #: seam: row timestamps are provenance metadata, never sampling
+    #: inputs.
+    seed_source_modules: frozenset[str] = frozenset(
+        {
+            "repro/utils/rng.py",
+            "repro/store/catalog.py",
+        }
+    )
     #: Modules where iteration order feeds selection/splicing (rule R103).
     hot_path_modules: tuple[str, ...] = (
         "repro/rrset/",
         "repro/algorithms/tirm.py",
     )
+    #: Modules where R104 also enforces file-handle hygiene (bare
+    #: ``open()`` outside a ``with``); entries ending in ``/`` match as
+    #: directory prefixes, like ``hot_path_modules``.
+    resource_hygiene_modules: tuple[str, ...] = ("repro/store/",)
     #: The one module allowed to touch the pool's private buffers (R105).
     pool_module: str = "repro/rrset/pool.py"
     #: The private buffer attributes R105 guards.
@@ -91,6 +111,12 @@ class AnalysisConfig:
         return any(
             key.startswith(prefix) if prefix.endswith("/") else key == prefix
             for prefix in self.hot_path_modules
+        )
+
+    def is_resource_hygiene(self, key: str) -> bool:
+        return any(
+            key.startswith(prefix) if prefix.endswith("/") else key == prefix
+            for prefix in self.resource_hygiene_modules
         )
 
     def is_pool_module(self, key: str) -> bool:

@@ -1,4 +1,4 @@
-"""R104 — every created shared-memory segment needs a reachable unlink.
+"""R104 — resource hygiene: shm segments unlinked, file handles scoped.
 
 ``SharedMemory(create=True)`` allocates a kernel object that outlives
 the process; a path that exits without ``unlink()`` leaks ``/dev/shm``
@@ -13,6 +13,13 @@ where the creator returns the segment name and a different scope
 unlinks (the descriptor transport does exactly this).  Those sites are
 correct by a cross-scope argument the linter cannot check, and carry a
 ``# reprolint: disable=R104`` with the justification in the comment.
+
+In the storage tier (``resource_hygiene_modules``, i.e. ``store/``)
+the rule additionally flags a bare ``open()`` whose result is not
+managed by a ``with`` block: the shard cache writes block files on hot
+sampling paths, and a handle that escapes its statement stays open
+across error paths — on the same leak axis as an unlinked segment, so
+it lives under the same code.
 """
 
 from __future__ import annotations
@@ -92,7 +99,8 @@ class SharedMemoryUnlinkRule(Rule):
     code = "R104"
     description = (
         "SharedMemory(create=True) needs a reachable unlink() on every "
-        "path of its scope (success and error)"
+        "path of its scope (success and error); in storage-tier modules "
+        "open() must be managed by a with block"
     )
 
     def _scopes(self, tree: ast.Module):
@@ -101,7 +109,33 @@ class SharedMemoryUnlinkRule(Rule):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield node
 
+    def _check_file_handles(self, context: LintContext) -> Iterator[Finding]:
+        """Storage-tier extension: every bare ``open()`` call must be a
+        ``with`` item's context expression, so the handle cannot outlive
+        its statement on any path."""
+        managed: set[int] = set()
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    managed.add(id(item.context_expr))
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "open"
+                and id(node) not in managed
+            ):
+                yield context.finding(
+                    node,
+                    self.code,
+                    "bare open() outside a with block in a storage-tier "
+                    "module — the handle can outlive its statement on "
+                    "error paths; use `with open(...) as ...`",
+                )
+
     def check(self, context: LintContext) -> Iterator[Finding]:
+        if context.config.is_resource_hygiene(context.module):
+            yield from self._check_file_handles(context)
         for scope in self._scopes(context.tree):
             scan = _ScopeScan()
             body = scope.body if not isinstance(scope, ast.Module) else scope.body

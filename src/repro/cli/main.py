@@ -41,6 +41,8 @@ _ALLOCATORS: dict[str, Callable[..., object]] = {
         checkpoint_every=getattr(args, "checkpoint_every", None),
         resume_from=_resume_path(args),
         dsan=True if getattr(args, "dsan", False) else None,
+        cache=getattr(args, "cache", None),
+        dataset=getattr(args, "dataset", None),
     ),
     "greedy": lambda args: GreedyAllocator(num_runs=args.mc_runs, seed=args.seed),
     "myopic": lambda args: MyopicAllocator(),
@@ -151,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
                                "exists; the resumed run is byte-identical to "
                                "an uninterrupted one for the same seed/rng/"
                                "chunk size")
+    allocate.add_argument("--cache", default=None, metavar="DIR",
+                          help="content-addressed RR-set shard cache (TIRM "
+                               "only): sampled chunk blocks are stored under "
+                               "DIR and a warm rerun of the same allocation "
+                               "performs zero sampling-backend invocations "
+                               "while staying byte-identical; also records "
+                               "the run in DIR's experiment catalog (see "
+                               "`repro ls`).  REPRO_CACHE=DIR does the same "
+                               "without the flag")
     allocate.add_argument("--mc-runs", type=int, default=200, dest="mc_runs")
     allocate.add_argument("--alpha", type=float, default=0.8)
 
@@ -178,6 +189,44 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule codes to run, e.g. R101,R105")
     lint.add_argument("--list-rules", action="store_true", dest="list_rules",
                       help="print the rule catalog and exit")
+
+    cache_help = ("shard cache / experiment catalog directory "
+                  "(default: the REPRO_CACHE environment variable)")
+    ls = commands.add_parser(
+        "ls", help="list the experiment catalog (allocations by default)"
+    )
+    ls.add_argument("--cache", default=None, metavar="DIR", help=cache_help)
+    ls_what = ls.add_mutually_exclusive_group()
+    ls_what.add_argument("--shards", action="store_true",
+                         help="list cached shard blocks (LRU-oldest first)")
+    ls_what.add_argument("--checkpoints", action="store_true",
+                         help="list registered checkpoint artifacts")
+    ls_what.add_argument("--benchmarks", action="store_true",
+                         help="list recorded benchmark history")
+
+    show = commands.add_parser("show", help="one catalog allocation in full")
+    show.add_argument("id", type=int, help="allocation id (see `repro ls`)")
+    show.add_argument("--cache", default=None, metavar="DIR", help=cache_help)
+
+    diff = commands.add_parser(
+        "diff",
+        help="compare two catalog allocations; exit 1 when a "
+             "determinism-contract field differs (substrate fields — "
+             "engine/backend/transport — are shown but never compared)",
+    )
+    diff.add_argument("left", type=int, help="allocation id")
+    diff.add_argument("right", type=int, help="allocation id")
+    diff.add_argument("--cache", default=None, metavar="DIR", help=cache_help)
+
+    gc = commands.add_parser(
+        "gc", help="evict LRU cache entries down to a byte budget "
+                   "(checkpoint-referenced shards are never dropped)"
+    )
+    gc.add_argument("--cache", default=None, metavar="DIR", help=cache_help)
+    gc.add_argument("--max-bytes", type=int, required=True, dest="max_bytes",
+                    metavar="N", help="target total size of cached block files")
+    gc.add_argument("--dry-run", action="store_true", dest="dry_run",
+                    help="report what would be evicted without deleting")
     return parser
 
 
@@ -234,6 +283,12 @@ def _cmd_allocate(args) -> int:
     if dsan_root is not None:
         print(f"dsan: {len(result.stats.get('dsan_digests', {}))} chunk "
               f"digests recorded, root {dsan_root}")
+    cache_stats = result.stats.get("cache")
+    if cache_stats is not None:
+        print(f"cache: {cache_stats['path']} — {cache_stats['hits']} hits, "
+              f"{cache_stats['misses']} misses, {cache_stats['stores']} blocks "
+              f"stored, {result.stats['backend_invocations']} backend "
+              f"invocations")
     rows = [
         ["total regret (MC)", report.total_regret],
         ["relative to budget", report.regret.relative_to_budget()],
@@ -333,6 +388,32 @@ def _cmd_lint(args) -> int:
     return linter.run(argv)
 
 
+def _cmd_ls(args) -> int:
+    # Lazy import, like lint: the store package (sqlite + block format)
+    # is machinery the allocation paths only need when caching.
+    from repro.store import commands as store_commands
+
+    return store_commands.cmd_ls(args)
+
+
+def _cmd_show(args) -> int:
+    from repro.store import commands as store_commands
+
+    return store_commands.cmd_show(args)
+
+
+def _cmd_diff(args) -> int:
+    from repro.store import commands as store_commands
+
+    return store_commands.cmd_diff(args)
+
+
+def _cmd_gc(args) -> int:
+    from repro.store import commands as store_commands
+
+    return store_commands.cmd_gc(args)
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "allocate": _cmd_allocate,
@@ -340,6 +421,10 @@ _COMMANDS = {
     "bounds": _cmd_bounds,
     "im": _cmd_im,
     "lint": _cmd_lint,
+    "ls": _cmd_ls,
+    "show": _cmd_show,
+    "diff": _cmd_diff,
+    "gc": _cmd_gc,
 }
 
 

@@ -59,6 +59,14 @@ class DeterminismError(ReproError):
         self.chunk = chunk
 
 
+class StoreError(ReproError):
+    """Raised by the shard cache / experiment catalog (:mod:`repro.store`)
+    for unusable store directories, malformed catalog databases, or
+    invalid store operations.  Cache *corruption* is deliberately not an
+    error: a poisoned entry is quarantined with a warning and the block
+    is recomputed (the cache must never change results)."""
+
+
 class EstimationError(ReproError):
     """Raised when a spread/coverage estimator cannot produce an estimate
     (for example an empty RR-set collection)."""

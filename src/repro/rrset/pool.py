@@ -433,7 +433,7 @@ class RRSetPool:
         nodes = np.unique(np.asarray(nodes, dtype=np.int64).ravel())
         if nodes.size == 0:
             return 0
-        if nodes.size and (nodes[0] < 0 or nodes[-1] >= self.num_nodes):
+        if nodes[0] < 0 or nodes[-1] >= self.num_nodes:
             raise IndexError("node ids out of range")
         ids = self._ids_containing_many(nodes)
         if ids.size == 0:

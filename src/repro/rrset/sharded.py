@@ -68,6 +68,25 @@ Speculation is legal because chunks are pure functions of their
 whether or not it ends up needed, and one that is never consumed is
 simply discarded (and its segment unlinked) at close.
 
+Shard cache (``cache=...`` / ``REPRO_CACHE``)
+---------------------------------------------
+
+With a cache directory configured, the engine is *read-through* over
+the content-addressed shard store (:mod:`repro.store`): every sampling
+path — :meth:`sample`, :meth:`ensure`, :meth:`prefetch` — consults the
+cache **before** submitting compute, splices verified hits through the
+same single-copy ``add_flat_from_buffer`` path the shm transport uses,
+and stores freshly computed blocks for the next run.  Keys address what
+determines the bytes (graph/probs content, stream entropy, chunk size,
+sampler mode) and exclude the byte-identical substrate knobs (engine,
+workers, backend, transport, start method) — so a warm run performs
+**zero** sampling-backend invocations (``backend_invocations`` counts
+them) while remaining byte-identical to a cold one.  Every hit is
+integrity-checked against its stored dsan digest on load; a poisoned
+entry is quarantined with a warning and the block recomputed, never
+spliced.  Like prefetch and the transport, the cache is **not** part of
+the determinism contract.
+
 Legacy streams (``rng="legacy"``)
 ---------------------------------
 
@@ -76,7 +95,11 @@ blocked), kept for bit-exact reproduction of the seed implementation.
 They are strictly sequential — set ``k`` cannot be drawn without first
 drawing sets ``0..k-1`` — so legacy requests are always served serially
 in ad order, exactly like the pre-engine ``TIRMAllocator`` loop, even
-under ``engine="process"`` (a warning says so).
+under ``engine="process"`` (a warning says so).  Cached legacy entries
+carry the post-request stream state, so a hit both splices the block
+and advances the restored stream exactly as sampling would have; a
+request sequence that diverges from the cached one stops consulting
+the cache for that ad (the stream history no longer matches).
 """
 
 from __future__ import annotations
@@ -310,6 +333,19 @@ def _release_engine_resources(resources: dict) -> None:
     if payload_key is not None:
         resources["payload_key"] = None
         _FORK_PAYLOADS.pop(payload_key, None)
+    # Shard cache last: an engine-owned cache is closed (flush + catalog
+    # close); a shared one (TIRM owns it) is only flushed, so its batched
+    # catalog rows land before the owner reads or closes it.
+    cache = resources.get("cache")
+    if cache is not None:
+        resources["cache"] = None
+        try:
+            if resources.get("cache_owned"):
+                cache.close()
+            else:
+                cache.flush()
+        except Exception:  # pragma: no cover - interpreter-shutdown race
+            pass
 
 
 class ShardedSamplingEngine:
@@ -385,6 +421,17 @@ class ShardedSamplingEngine:
         is checked inline and the first divergence raises
         :class:`~repro.errors.DeterminismError` naming its
         ``(ad, chunk)``.
+    cache:
+        Shard cache knob (:mod:`repro.store`): a directory path opens a
+        cache the engine owns (and closes), a ready
+        :class:`~repro.store.ShardCache` is shared (the engine only
+        flushes it), and ``None`` (default) defers to the
+        ``REPRO_CACHE`` environment variable.  With a cache, every
+        sampling path checks the store before computing and stores what
+        it computes; ``backend_invocations`` counts actual compute.
+        **Not** part of the determinism contract — hits are verified
+        against their stored digests, so cached and uncached runs are
+        byte-identical (see the module notes above).
 
     Examples
     --------
@@ -419,6 +466,7 @@ class ShardedSamplingEngine:
         start_method: str = "auto",
         dsan: bool | None = None,
         dsan_expected: Mapping | None = None,
+        cache=None,
     ) -> None:
         if mode not in SAMPLER_MODES:
             raise ConfigurationError(
@@ -515,6 +563,23 @@ class ShardedSamplingEngine:
         # Legacy streams have no chunk addresses; dsan keys them by the
         # per-ad request ordinal instead (see repro.rrset.dsan).
         self._legacy_ordinals: dict[int, int] = {}
+        #: Sampling-backend invocations this engine actually performed
+        #: (serial chunk computes, worker submits, legacy draws).  The
+        #: warm-start headline: a fully cached run keeps this at zero.
+        self.backend_invocations = 0
+        # Read-through shard cache.  Imported lazily: repro.store imports
+        # repro.rrset for the block format and digests, so a module-level
+        # import here would be circular.
+        from repro.store.cache import resolve_cache
+
+        self._cache, self._cache_owned = resolve_cache(cache)
+        self._shard_keys: list[str] | None = None
+        self._cache_meta: list[dict] | None = None
+        # Ads whose legacy request sequence diverged from the cached one
+        # (membership tests only — never iterated).
+        self._legacy_diverged: set[int] = set()
+        if self._cache is not None:
+            self._init_shard_keys()
         # Speculative prefetch ledger: (ad, chunk) -> in-flight future.
         # Shared with the teardown resources so close() can cancel and
         # drain it even from the GC finalizer (which cannot see self).
@@ -526,6 +591,8 @@ class ShardedSamplingEngine:
             "inflight": self._inflight,
             "arena": None,
             "transport": self.transport,
+            "cache": self._cache,
+            "cache_owned": self._cache_owned,
         }
         if engine == "process" and rng == "philox" and self._start_method != "spawn":
             _FORK_PAYLOADS[self._engine_id] = (
@@ -554,6 +621,50 @@ class ShardedSamplingEngine:
             # leaking the payload (and any executor) forever.
             _release_engine_resources(self._resources)
             raise
+
+    def _init_shard_keys(self) -> None:
+        """Content addresses for every ad's stream (key schema:
+        :mod:`repro.store.keys`).  Keys pin what determines the bytes —
+        graph content, edge probabilities, stream entropy (philox) or
+        initial stream state (legacy), chunk size, sampler mode — and
+        exclude the byte-identical substrate (engine / backend /
+        transport / start method / workers)."""
+        from repro.store.keys import legacy_shard_key, philox_shard_key, state_hash
+        from repro.utils.hashing import array_digest, graph_digest
+
+        graph_hash = graph_digest(self.graph)
+        keys: list[str] = []
+        meta: list[dict] = []
+        for ad, sampler in enumerate(self._samplers):
+            probs_hash = array_digest(sampler.edge_probabilities, label="probs")
+            if self.rng == "philox":
+                key = philox_shard_key(
+                    graph_hash=graph_hash, probs_hash=probs_hash,
+                    entropy=self._entropies[ad], ad=ad,
+                    chunk_size=self.chunk_size, mode=self.mode,
+                )
+                entropy = str(self._entropies[ad])
+            else:
+                # The legacy key pins the *initial* stream state: entries
+                # are keyed by request ordinal and carry the post-request
+                # state, so hits replay the exact sampling sequence.
+                key = legacy_shard_key(
+                    graph_hash=graph_hash, probs_hash=probs_hash,
+                    state_hash=state_hash(sampler.legacy_state()),
+                    ad=ad, mode=self.mode,
+                )
+                entropy = None
+            keys.append(key)
+            meta.append({
+                "ad": ad,
+                "rng": self.rng,
+                "mode": self.mode,
+                "chunk_size": self.chunk_size,
+                "entropy": entropy,
+                "graph_hash": graph_hash,
+            })
+        self._shard_keys = keys
+        self._cache_meta = meta
 
     # ------------------------------------------------------------------
     # Accessors
@@ -597,6 +708,41 @@ class ShardedSamplingEngine:
         fingerprint recorded in TIRM stats/provenance (``None`` when
         dsan is off)."""
         return None if self._dsan is None else self._dsan.root_digest()
+
+    @property
+    def cache(self):
+        """The engine's shard cache (:class:`repro.store.ShardCache`),
+        or ``None`` when caching is off."""
+        return self._cache
+
+    def cache_stats(self) -> dict | None:
+        """Copy of the cache's hit/miss/store/corrupt counters plus its
+        directory under ``"path"`` (``None`` when caching is off)."""
+        if self._cache is None:
+            return None
+        stats = dict(self._cache.stats)
+        stats["path"] = self._cache.directory
+        return stats
+
+    def shard_cache_refs(self) -> list[tuple[str, int]]:
+        """The cache blocks this engine's shards were (or could have
+        been) served from: one ``(shard_key, max_index)`` pair per
+        non-empty ad.  TIRM registers these against each checkpoint so
+        ``repro gc`` keeps the blocks a warm resume would re-read.
+        Empty without a cache."""
+        if self._shard_keys is None:
+            return []
+        refs: list[tuple[str, int]] = []
+        for ad, key in enumerate(self._shard_keys):
+            if self.rng == "philox":
+                total = self._shards[ad].num_total
+                if total:
+                    refs.append((key, (total - 1) // self.chunk_size))
+            else:
+                ordinal = self._legacy_ordinals.get(ad, 0)
+                if ordinal:
+                    refs.append((key, ordinal - 1))
+        return refs
 
     def shard(self, ad: int) -> RRSetPool:
         """The advertiser's RR-set pool shard."""
@@ -738,7 +884,7 @@ class ShardedSamplingEngine:
         ):
             return 0
         submitted = 0
-        executor = self._ensure_executor()
+        executor = None
         for ad in sorted(extras):
             start = self._shards[ad].num_total
             for chunk_index, _, _ in self._plans[ad].chunk_tasks(
@@ -748,12 +894,20 @@ class ShardedSamplingEngine:
                 if (
                     key in self._inflight
                     or self._cached_block(ad, chunk_index) is not None
+                    or (
+                        self._cache is not None
+                        and self._cache.has(self._shard_keys[ad], chunk_index)
+                    )
                 ):
                     continue
+                if executor is None:
+                    # Lazy: a fully cache-warm prefetch spawns no pool.
+                    executor = self._ensure_executor()
                 self._inflight[key] = executor.submit(
                     _worker_sample_chunk, self._engine_id, ad, self.mode,
                     chunk_index, self.transport,
                 )
+                self.backend_invocations += 1
                 submitted += 1
         return submitted
 
@@ -775,7 +929,9 @@ class ShardedSamplingEngine:
     def _sample_serial_legacy(self, requests: dict[int, int]) -> None:
         for ad in sorted(requests):
             sampler, shard, count = self._samplers[ad], self._shards[ad], requests[ad]
-            if self._dsan is not None:
+            if self._cache is not None:
+                self._sample_legacy_cached(ad, sampler, shard, count)
+            elif self._dsan is not None:
                 # Same streams and same pool state as the *_into paths
                 # (sample_flat is the documented bit-exact equivalent),
                 # but routed through a packed block so it can be hashed.
@@ -786,16 +942,125 @@ class ShardedSamplingEngine:
                 self._legacy_ordinals[ad] = ordinal + 1
                 self._dsan.record(ad, ordinal, members, lengths)
                 shard.add_flat(members, lengths)
+                self.backend_invocations += 1
             elif self.mode == "blocked":
                 sampler.sample_blocked_into(shard, count)
+                self.backend_invocations += 1
             else:
                 sampler.sample_into(shard, count)
+                self.backend_invocations += 1
+
+    def _sample_legacy_cached(self, ad, sampler, shard, count: int) -> None:
+        """One legacy request through the shard cache.
+
+        Entries are keyed by the per-ad request ordinal under the
+        *initial-state* shard key and carry the post-request stream
+        state, so a hit both splices the block and advances the stream
+        exactly as sampling would have.  A request sequence that
+        diverges from the cached one (an entry exists but its set count
+        differs) permanently stops consulting — and extending — this
+        ad's cached sequence: every later cached entry assumes a stream
+        history this run no longer shares.
+        """
+        ordinal = self._legacy_ordinals.get(ad, 0)
+        self._legacy_ordinals[ad] = ordinal + 1
+        diverged = ad in self._legacy_diverged
+        if not diverged:
+            entry = self._cache.load(self._shard_keys[ad], ordinal)
+            if entry is not None:
+                try:
+                    if entry.num_sets != count or entry.state is None:
+                        self._legacy_diverged.add(ad)
+                        diverged = True
+                    else:
+                        if self._dsan is not None:
+                            self._dsan.record(
+                                ad, ordinal, entry.members, entry.lengths
+                            )
+                        shard.add_flat_from_buffer(
+                            entry.buffer,
+                            num_sets=entry.num_sets,
+                            num_members=entry.num_members,
+                            lengths_offset=entry.lengths_offset,
+                            members_offset=entry.members_offset,
+                        )
+                        sampler.set_legacy_state(entry.state)
+                        return
+                finally:
+                    entry.release()
+        members, lengths = sampler.sample_flat(count, mode=self.mode)
+        self.backend_invocations += 1
+        if self._dsan is not None:
+            self._dsan.record(ad, ordinal, members, lengths)
+        if not diverged:
+            # A plain miss extends the cached sequence: every earlier
+            # ordinal hit (or was stored), so the stream state matches.
+            self._cache.store(
+                self._shard_keys[ad], ordinal, members, lengths,
+                state=sampler.legacy_state(), meta=self._cache_meta[ad],
+            )
+        shard.add_flat(members, lengths)
 
     def _cached_block(self, ad: int, chunk_index: int):
         cached = self._tail_blocks.get(ad)
         if cached is not None and cached[0] == chunk_index:
             return cached[1]
         return None
+
+    def _store_chunk(self, ad: int, chunk_index: int, block) -> None:
+        """Write one freshly computed *full* chunk block through to the
+        shard cache (no-op without one; write failures warn once inside
+        the cache and never fail the run)."""
+        if self._cache is not None:
+            self._cache.store(
+                self._shard_keys[ad], chunk_index, block[0], block[1],
+                meta=self._cache_meta[ad],
+            )
+
+    def _splice_from_cache(
+        self, ad: int, chunk_index: int, lo: int, hi: int
+    ) -> bool:
+        """Serve sets ``[lo, hi)`` of a chunk from the shard cache.
+
+        The load verifies the entry against its stored digest
+        (:meth:`repro.store.ShardCache.load`); a verified block is
+        spliced through the pool's single-copy buffer path — the same
+        splice the shm transport uses — and recorded with dsan exactly
+        like a computed block.  Returns ``False`` on miss or quarantined
+        corruption, and the caller recomputes: the cache can only ever
+        save work, never change bytes."""
+        entry = self._cache.load(self._shard_keys[ad], chunk_index)
+        if entry is None:
+            return False
+        try:
+            if entry.num_sets != self.chunk_size:
+                # Impossible under the key schema (chunk size is part of
+                # the key); refuse to splice rather than trust it.
+                return False
+            if self._dsan is not None:
+                self._dsan.record(ad, chunk_index, entry.members, entry.lengths)
+            bounds = np.zeros(entry.num_sets + 1, dtype=np.int64)
+            np.cumsum(entry.lengths, out=bounds[1:])
+            self._shards[ad].add_flat_from_buffer(
+                entry.buffer,
+                num_sets=hi - lo,
+                num_members=int(bounds[hi] - bounds[lo]),
+                lengths_offset=entry.lengths_offset + lo * _LENGTH_ITEMSIZE,
+                members_offset=(
+                    entry.members_offset + int(bounds[lo]) * _MEMBER_ITEMSIZE
+                ),
+            )
+            self._samplers[ad].num_sampled += hi - lo
+            if hi < self.chunk_size:
+                # The tail cache must own its block: the mapping dies now.
+                self._tail_blocks[ad] = (
+                    chunk_index, (entry.members.copy(), entry.lengths.copy())
+                )
+            else:
+                self._tail_blocks.pop(ad, None)
+            return True
+        finally:
+            entry.release()
 
     def _splice_block(
         self, ad: int, chunk_index: int, lo: int, hi: int, block
@@ -844,6 +1109,18 @@ class ShardedSamplingEngine:
                     self._dsan.record(ad, chunk_index, members_view, lengths)
                 finally:
                     del members_view
+            if self._cache is not None:
+                # Write-through straight off the segment (zero-copy
+                # views; write_block serializes without keeping refs, so
+                # the finally below can still retire the segment).
+                members_view = np.frombuffer(
+                    segment.buf, dtype=MEMBER_DTYPE, count=num_members,
+                    offset=members_offset,
+                )
+                try:
+                    self._store_chunk(ad, chunk_index, (members_view, lengths))
+                finally:
+                    del members_view
             self._shards[ad].add_flat_from_buffer(
                 segment.buf,
                 num_sets=hi - lo,
@@ -885,15 +1162,22 @@ class ShardedSamplingEngine:
         for ad, chunk_index, lo, hi in tasks:
             block = self._cached_block(ad, chunk_index)
             if block is None:
+                if self._cache is not None and self._splice_from_cache(
+                    ad, chunk_index, lo, hi
+                ):
+                    continue
                 block = self._samplers[ad].sample_chunk_block(
                     self._plans[ad], chunk_index, mode=self.mode
                 )
+                self.backend_invocations += 1
+                self._store_chunk(ad, chunk_index, block)
             self._splice_block(ad, chunk_index, lo, hi, block)
 
     def _run_tasks_process(self, tasks: list[tuple[int, int, int, int]]) -> None:
-        executor = self._ensure_executor()
+        executor = None
         blocks: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
         pending: dict[tuple[int, int], Future] = {}
+        cache_hits: set[tuple[int, int]] = set()
         try:
             for ad, chunk_index, lo, hi in tasks:
                 key = (ad, chunk_index)
@@ -904,11 +1188,23 @@ class ShardedSamplingEngine:
                 block = self._cached_block(ad, chunk_index)
                 if block is not None:
                     blocks[key] = block
-                else:
-                    pending[key] = executor.submit(
-                        _worker_sample_chunk, self._engine_id, ad, self.mode,
-                        chunk_index, self.transport,
-                    )
+                    continue
+                if self._cache is not None and self._cache.has(
+                    self._shard_keys[ad], chunk_index
+                ):
+                    # Submit-or-skip on a cheap existence probe; the
+                    # splice loop below does the verified load (and
+                    # recomputes in-process if the entry fails it).
+                    cache_hits.add(key)
+                    continue
+                if executor is None:
+                    # Lazy: a fully cache-warm request spawns no pool.
+                    executor = self._ensure_executor()
+                pending[key] = executor.submit(
+                    _worker_sample_chunk, self._engine_id, ad, self.mode,
+                    chunk_index, self.transport,
+                )
+                self.backend_invocations += 1
             # Deterministic splice order (ascending ad, then chunk — the
             # order the task list was built in), independent of which
             # worker finished first.  Each result is consumed as soon as
@@ -917,7 +1213,19 @@ class ShardedSamplingEngine:
                 key = (ad, chunk_index)
                 future = pending.pop(key, None)
                 if future is None:
-                    self._splice_block(ad, chunk_index, lo, hi, blocks[key])
+                    block = blocks.get(key)
+                    if block is None and key in cache_hits:
+                        if self._splice_from_cache(ad, chunk_index, lo, hi):
+                            continue
+                        # The probed entry vanished or failed its digest
+                        # check: recompute in-process — correctness over
+                        # throughput for a should-never-happen path.
+                        block = self._samplers[ad].sample_chunk_block(
+                            self._plans[ad], chunk_index, mode=self.mode
+                        )
+                        self.backend_invocations += 1
+                        self._store_chunk(ad, chunk_index, block)
+                    self._splice_block(ad, chunk_index, lo, hi, block)
                     continue
                 result = future.result()
                 if self.transport == "shm":
@@ -925,9 +1233,9 @@ class ShardedSamplingEngine:
                         ad, chunk_index, lo, hi, result[2], result[3], result[4]
                     )
                 else:
-                    self._splice_block(
-                        ad, chunk_index, lo, hi, (result[2], result[3])
-                    )
+                    block = (result[2], result[3])
+                    self._store_chunk(ad, chunk_index, block)
+                    self._splice_block(ad, chunk_index, lo, hi, block)
         except BaseException:
             # A failed batch (worker crash, submit error, splice error)
             # leaves the request partially applied; don't also leak the

@@ -1,0 +1,167 @@
+"""Cache eviction: LRU under a byte budget, checkpoint-refs protected.
+
+``repro gc --max-bytes N`` brings a cache directory's block files under
+``N`` bytes by evicting least-recently-used entries — but **refuses to
+drop shards referenced by a live checkpoint**: a philox checkpoint
+re-derives its pools from blocks ``0..max_index`` of each registered
+shard key, so evicting one would turn the next warm resume back into a
+cold recompute of exactly the blocks the checkpoint exists to avoid.
+(Correctness never depends on the cache either way — eviction can only
+cost recompute time.)
+
+Eviction order:
+
+1. **Orphan files** — block files with no catalog row (a writer that
+   crashed before its catalog flush).  They have no LRU record, so they
+   go first, oldest file first.
+2. **Catalog rows**, oldest ``last_used_at`` first, skipping protected
+   entries.  Rows whose file already vanished are reconciled (dropped)
+   for free.
+
+If the protected set alone exceeds the budget the report says so
+(``over_budget``) and nothing protected is touched.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import StoreError
+from repro.store.cache import OBJECTS_DIRNAME
+from repro.store.catalog import ExperimentCatalog
+
+
+@dataclass
+class GcReport:
+    """What one gc pass did (or, under ``dry_run``, would do)."""
+
+    budget: int
+    bytes_before: int = 0
+    bytes_after: int = 0
+    evicted_entries: int = 0
+    evicted_bytes: int = 0
+    protected_entries: int = 0
+    protected_bytes: int = 0
+    orphans_evicted: int = 0
+    dry_run: bool = False
+    over_budget: bool = False
+    evicted: list[tuple[str, int]] = field(default_factory=list)
+
+
+def _scan_objects(directory: str) -> dict[tuple[str, int], tuple[str, int, float]]:
+    """Every block file on disk: ``(key, index) -> (path, size, mtime)``."""
+    objects_dir = os.path.join(directory, OBJECTS_DIRNAME)
+    found: dict[tuple[str, int], tuple[str, int, float]] = {}
+    if not os.path.isdir(objects_dir):
+        return found
+    for key in sorted(os.listdir(objects_dir)):
+        key_dir = os.path.join(objects_dir, key)
+        if not os.path.isdir(key_dir):
+            continue
+        for name in sorted(os.listdir(key_dir)):
+            if not name.endswith(".blk"):
+                continue
+            try:
+                index = int(name[: -len(".blk")])
+            except ValueError:
+                continue
+            path = os.path.join(key_dir, name)
+            try:
+                status = os.stat(path)
+            except OSError:
+                continue
+            found[(key, index)] = (path, int(status.st_size), status.st_mtime)
+    return found
+
+
+def _remove_entry(path: str) -> None:
+    try:
+        os.remove(path)
+    except OSError:
+        return
+    # Best-effort removal of a now-empty shard-key directory.
+    try:
+        os.rmdir(os.path.dirname(path))
+    except OSError:
+        pass
+
+
+def collect_garbage(
+    directory, *, max_bytes: int, dry_run: bool = False
+) -> GcReport:
+    """Evict LRU cache entries until the block files fit ``max_bytes``.
+
+    Returns a :class:`GcReport`; with ``dry_run`` the plan is computed
+    (and the report filled) without deleting anything.
+    """
+    directory = os.fspath(directory)
+    if max_bytes < 0:
+        raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
+    if not os.path.isdir(directory):
+        raise StoreError(f"no cache directory at {directory}")
+    report = GcReport(budget=int(max_bytes), dry_run=bool(dry_run))
+    with ExperimentCatalog(directory) as catalog:
+        protected = catalog.protected_shards()
+        on_disk = _scan_objects(directory)
+        total = sum(size for _, size, _ in on_disk.values())
+        report.bytes_before = total
+
+        rows = catalog.list_shards()
+        known = {(row["shard_key"], row["block_index"]) for row in rows}
+        for row in rows:
+            if (row["shard_key"], row["block_index"]) not in on_disk:
+                # File gone (evicted elsewhere, quarantined): reconcile.
+                if not dry_run:
+                    catalog.forget_shard(row["shard_key"], row["block_index"])
+
+        for (key, index), (_, size, _) in on_disk.items():
+            if key in protected and index <= protected[key]:
+                report.protected_entries += 1
+                report.protected_bytes += size
+
+        def evictable(key: str, index: int) -> bool:
+            return not (key in protected and index <= protected[key])
+
+        # Pass 1: orphans (no catalog row), oldest file first.
+        orphans = sorted(
+            (entry for entry in on_disk if entry not in known),
+            key=lambda entry: (on_disk[entry][2], entry),
+        )
+        # Pass 2: catalog rows in LRU order (list_shards sorts by
+        # last_used_at ascending).
+        recorded = (
+            (row["shard_key"], row["block_index"])
+            for row in rows
+            if (row["shard_key"], row["block_index"]) in on_disk
+        )
+        for pass_index, candidates in enumerate((orphans, recorded)):
+            for key, index in candidates:
+                if total <= max_bytes:
+                    break
+                if not evictable(key, index):
+                    continue
+                path, size, _ = on_disk[(key, index)]
+                if not dry_run:
+                    _remove_entry(path)
+                    catalog.forget_shard(key, index)
+                total -= size
+                report.evicted_entries += 1
+                report.evicted_bytes += size
+                report.evicted.append((key, index))
+                if pass_index == 0:
+                    report.orphans_evicted += 1
+
+        report.bytes_after = total
+        report.over_budget = total > max_bytes
+    return report
+
+
+def cache_usage(directory) -> dict:
+    """Summary counters for ``repro ls``: entry/byte totals on disk."""
+    on_disk = _scan_objects(os.fspath(directory))
+    return {
+        "entries": len(on_disk),
+        "bytes": int(sum(size for _, size, _ in on_disk.values())),
+        "shard_keys": len({key for key, _ in on_disk}),
+    }

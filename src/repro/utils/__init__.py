@@ -1,5 +1,6 @@
-"""Shared utilities: random-number handling, validation, timing."""
+"""Shared utilities: random-number handling, hashing, validation, timing."""
 
+from repro.utils.hashing import array_digest, graph_digest
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.timing import Timer
 from repro.utils.validation import (
@@ -10,6 +11,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "array_digest",
+    "graph_digest",
     "as_generator",
     "spawn_generators",
     "Timer",

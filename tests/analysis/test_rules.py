@@ -325,6 +325,41 @@ def test_r104_ownership_handoff_suppression(tmp_path):
     assert lint_file(path) == []
 
 
+def test_r104_bare_open_in_storage_tier_flagged(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/store/bad_open.py",
+        "def read_header(path):\n"
+        "    handle = open(path, 'rb')\n"
+        "    return handle.read(64)\n",
+    )
+    findings = [f for f in lint_file(path) if f.code == "R104"]
+    assert len(findings) == 1
+    assert "with" in findings[0].message
+
+
+def test_r104_with_open_in_storage_tier_is_clean(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/store/good_open.py",
+        "def read_header(path):\n"
+        "    with open(path, 'rb') as handle:\n"
+        "        return handle.read(64)\n",
+    )
+    assert "R104" not in _codes(lint_file(path))
+
+
+def test_r104_bare_open_outside_storage_tier_not_flagged(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/evaluation/loader.py",
+        "def read_header(path):\n"
+        "    handle = open(path, 'rb')\n"
+        "    return handle.read(64)\n",
+    )
+    assert "R104" not in _codes(lint_file(path))
+
+
 # ----------------------------------------------------------------------
 # R105 — pool buffer encapsulation
 # ----------------------------------------------------------------------

@@ -334,3 +334,92 @@ def test_allocate_dsan_flag(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "dsan:" in out and "root" in out
+
+
+# ----------------------------------------------------------------------
+# Shard cache + experiment catalog commands (--cache / ls / show / diff / gc)
+# ----------------------------------------------------------------------
+def _allocate_cached(cache_dir, *extra):
+    return main([
+        "allocate", "figure1", "--algorithm", "tirm",
+        "--eval-runs", "50", "--max-rr-sets", "1000",
+        "--cache", str(cache_dir), *extra,
+    ])
+
+
+def test_allocate_cache_warm_start(tmp_path, capsys):
+    assert _allocate_cached(tmp_path) == 0
+    cold = capsys.readouterr().out
+    assert "cache:" in cold and "blocks stored" in cold
+
+    assert _allocate_cached(tmp_path) == 0
+    warm = capsys.readouterr().out
+    assert "0 backend invocations" in warm
+    # Warm-start is a substrate optimisation: the report is unchanged.
+    def regret_line(out):
+        line = next(line for line in out.splitlines() if "total regret" in line)
+        return " ".join(line.split())  # column widths vary with the table
+
+    assert regret_line(warm) == regret_line(cold)
+
+
+def test_catalog_ls_show_diff_roundtrip(tmp_path, capsys):
+    assert _allocate_cached(tmp_path) == 0
+    assert _allocate_cached(tmp_path) == 0
+    capsys.readouterr()
+
+    assert main(["ls", "--cache", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Recorded allocations" in out and "figure1" in out
+
+    assert main(["ls", "--cache", str(tmp_path), "--shards"]) == 0
+    out = capsys.readouterr().out
+    assert "Cached shards" in out and "philox" in out
+
+    assert main(["show", "1", "--cache", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Allocation #1" in out and "provenance:" in out
+
+    # Cold vs warm differ only in substrate fields — contract holds.
+    assert main(["diff", "1", "2", "--cache", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "contract fields identical" in out
+
+
+def test_catalog_gc_smoke(tmp_path, capsys):
+    checkpoint = tmp_path / "figure1.ckpt.npz"
+    assert _allocate_cached(tmp_path, "--checkpoint", str(checkpoint)) == 0
+    capsys.readouterr()
+    assert main([
+        "gc", "--cache", str(tmp_path), "--max-bytes", "0", "--dry-run",
+    ]) == 0
+    out = capsys.readouterr().out
+    # The checkpoint pins every shard it references; budget 0 cannot
+    # evict them, and gc says so instead of breaking the warm resume.
+    assert "checkpoint-protected entries kept" in out
+    assert "still over budget" in out
+
+    assert main(["ls", "--cache", str(tmp_path), "--checkpoints"]) == 0
+    assert "figure1.ckpt.npz" in capsys.readouterr().out
+
+
+def test_catalog_commands_require_cache_dir(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    assert main(["ls"]) == 2
+    assert "no cache directory" in capsys.readouterr().err
+
+    missing = tmp_path / "absent"
+    assert main(["ls", "--cache", str(missing)]) == 2
+    assert "no cache directory" in capsys.readouterr().err
+
+
+def test_allocate_cache_env_var(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    code = main([
+        "allocate", "figure1", "--algorithm", "tirm",
+        "--eval-runs", "50", "--max-rr-sets", "1000",
+    ])
+    assert code == 0
+    assert "cache:" in capsys.readouterr().out
+    assert main(["ls"]) == 0
+    assert "Recorded allocations" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""ShardCache semantics: read-through hits/misses, quarantine of
+poisoned entries, idempotent stores, failure-transparent writes, and
+the tri-state ``resolve_cache`` knob."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.store.blocks import HEADER_SIZE
+from repro.store.cache import ENV_VAR, ShardCache, resolve_cache
+
+KEY = "a" * 32
+
+
+def _block():
+    lengths = np.array([2, 2], dtype=np.int64)
+    members = np.array([1, 3, 0, 2], dtype=np.int32)
+    return members, lengths
+
+
+def test_store_then_load_hits(tmp_path):
+    with ShardCache(tmp_path) as cache:
+        members, lengths = _block()
+        assert cache.store(KEY, 0, members, lengths)
+        entry = cache.load(KEY, 0)
+        assert entry is not None
+        assert np.array_equal(entry.members, members)
+        entry.release()
+        assert cache.stats["hits"] == 1
+        assert cache.stats["stores"] == 1
+
+
+def test_load_miss_counts(tmp_path):
+    with ShardCache(tmp_path) as cache:
+        assert cache.load(KEY, 0) is None
+        assert not cache.has(KEY, 0)
+        assert cache.stats["misses"] == 2
+        assert cache.stats["hits"] == 0
+
+
+def test_store_is_idempotent(tmp_path):
+    with ShardCache(tmp_path) as cache:
+        members, lengths = _block()
+        assert cache.store(KEY, 0, members, lengths)
+        mtime = os.path.getmtime(cache.entry_path(KEY, 0))
+        assert cache.store(KEY, 0, members, lengths)
+        assert cache.stats["stores"] == 1  # second store kept the entry
+        assert os.path.getmtime(cache.entry_path(KEY, 0)) == mtime
+
+
+def test_poisoned_entry_quarantined_and_reported_as_miss(tmp_path):
+    with ShardCache(tmp_path) as cache:
+        members, lengths = _block()
+        cache.store(KEY, 0, members, lengths)
+        cache.flush()
+        path = cache.entry_path(KEY, 0)
+        with open(path, "r+b") as handle:
+            handle.seek(HEADER_SIZE)
+            handle.write(b"\xff" * 4)
+        with pytest.warns(RuntimeWarning, match="corrupt entry"):
+            assert cache.load(KEY, 0) is None
+        assert cache.stats["corrupt"] == 1
+        assert not os.path.exists(path)  # removed, will be recomputed
+        cache.flush()
+        assert cache.catalog.list_shards() == []  # row dropped too
+
+
+def test_store_failure_warns_once_and_keeps_serving(tmp_path, monkeypatch):
+    with ShardCache(tmp_path) as cache:
+        members, lengths = _block()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.store.cache.write_block", boom)
+        with pytest.warns(RuntimeWarning, match="cannot store"):
+            assert not cache.store(KEY, 0, members, lengths)
+        # Second failure is silent — the warning fires once per cache.
+        assert not cache.store(KEY, 1, members, lengths)
+        assert cache.stats["store_errors"] == 2
+
+
+def test_catalog_rows_flushed_on_close(tmp_path):
+    cache = ShardCache(tmp_path)
+    members, lengths = _block()
+    cache.store(KEY, 0, members, lengths, meta={"ad": 3, "rng": "philox"})
+    cache.close()
+    with ShardCache(tmp_path) as reopened:
+        rows = reopened.catalog.list_shards()
+        assert len(rows) == 1
+        assert rows[0]["shard_key"] == KEY
+        assert rows[0]["ad"] == 3
+        assert rows[0]["rng"] == "philox"
+
+
+def test_hits_touch_lru_bookkeeping(tmp_path):
+    with ShardCache(tmp_path) as cache:
+        members, lengths = _block()
+        cache.store(KEY, 0, members, lengths)
+        cache.load(KEY, 0).release()
+        cache.load(KEY, 0).release()
+        cache.flush()
+        (row,) = cache.catalog.list_shards()
+        assert row["uses"] == 2
+
+
+class TestResolveCache:
+    def test_none_without_env_disables(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_cache(None) == (None, False)
+
+    def test_none_with_env_opens_owned(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path))
+        cache, owned = resolve_cache(None)
+        assert owned and cache.directory == str(tmp_path)
+        cache.close()
+
+    def test_blank_env_disables(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "   ")
+        assert resolve_cache(None) == (None, False)
+
+    def test_path_opens_owned(self, tmp_path):
+        cache, owned = resolve_cache(tmp_path)
+        assert owned and isinstance(cache, ShardCache)
+        cache.close()
+
+    def test_instance_is_shared_not_owned(self, tmp_path):
+        with ShardCache(tmp_path) as cache:
+            resolved, owned = resolve_cache(cache)
+            assert resolved is cache
+            assert not owned

@@ -1,0 +1,46 @@
+"""Content digests behind the shard-cache keys: sensitivity to bytes,
+dtype, shape, and label; graph digests pin the edge arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.generators import erdos_renyi
+from repro.utils.hashing import array_digest, graph_digest
+
+
+def test_array_digest_deterministic():
+    data = np.arange(10, dtype=np.float64)
+    assert array_digest(data) == array_digest(data.copy())
+
+
+def test_array_digest_sensitive_to_bytes():
+    data = np.arange(10, dtype=np.float64)
+    other = data.copy()
+    other[3] += 1e-12
+    assert array_digest(data) != array_digest(other)
+
+
+def test_array_digest_sensitive_to_dtype_and_shape():
+    data = np.arange(6, dtype=np.int32)
+    assert array_digest(data) != array_digest(data.astype(np.int64))
+    assert array_digest(data) != array_digest(data.reshape(2, 3))
+
+
+def test_array_digest_label_namespaces():
+    data = np.arange(6, dtype=np.int32)
+    assert array_digest(data, label="probs") != array_digest(data, label="other")
+
+
+def test_array_digest_handles_noncontiguous_views():
+    data = np.arange(12, dtype=np.float64)
+    strided = data[::2]
+    assert array_digest(strided) == array_digest(np.ascontiguousarray(strided))
+
+
+def test_graph_digest_distinguishes_graphs():
+    a = erdos_renyi(40, 0.1, seed=1)
+    b = erdos_renyi(40, 0.1, seed=2)
+    same = erdos_renyi(40, 0.1, seed=1)
+    assert graph_digest(a) == graph_digest(same)
+    assert graph_digest(a) != graph_digest(b)
