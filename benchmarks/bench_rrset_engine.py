@@ -19,11 +19,16 @@ Additional sections: the sharded pilot phase and single-ad growth
 top-up (serial vs process, byte-equality asserted), the sampling
 *backend* comparison (numpy reference vs numba JIT kernel on the same
 stream — byte-equality asserted, speedup reported; see
-``docs/rrset_engine.md`` §backends), and the shard-cache section (TIRM
+``docs/rrset_engine.md`` §backends), the shard-cache section (TIRM
 cold populate vs warm zero-sampling rerun — identical allocation and
-zero backend invocations asserted, speedup reported).  With ``--cache
-DIR`` (or ``$REPRO_CACHE``), ``--json`` runs also append their section
-rows to that cache's experiment catalog (``repro ls --benchmarks``).
+zero backend invocations asserted, speedup reported), and the service
+section (cold submit vs warm resubmit vs incremental re-allocation
+through one :class:`~repro.service.jobs.JobManager` — warm resubmit
+must invoke the sampling backend zero times and every variant must
+stay byte-identical to its cold batch reference, all asserted).  With
+``--cache DIR`` (or ``$REPRO_CACHE``), ``--json`` runs also append
+their section rows to that cache's experiment catalog
+(``repro ls --benchmarks``).
 """
 
 from __future__ import annotations
@@ -66,8 +71,10 @@ TRANSPORT_THETA = 8_000
 PREFETCH_RR_CAP = 6_000
 #: Shard-cache section: TIRM cold (populating) vs warm (zero sampling).
 SHARD_CACHE_RR_CAP = 6_000
+#: Service section: cold submit vs warm resubmit vs incremental realloc.
+SERVICE_RR_CAP = 6_000
 #: Default artifact path for ``--json`` (see ``write_json_report``).
-JSON_REPORT = os.path.join(os.path.dirname(__file__), "BENCH_PR8.json")
+JSON_REPORT = os.path.join(os.path.dirname(__file__), "BENCH_PR9.json")
 
 
 def run_engine_cycle(
@@ -351,6 +358,73 @@ def _shard_cache_rows(
     ]
 
 
+def _service_rows(
+    max_rr_sets: int = SERVICE_RR_CAP, scale: float = SHARDED_SCALE
+):
+    """Allocation-as-a-service: cold submit vs warm resubmit vs
+    incremental re-allocation through one job manager's engine pool.
+
+    The warm resubmit must perform **zero** sampling-backend invocations
+    yet allocate byte-identically to the cold job; the re-allocation
+    (one ad's budget bumped 1.5×) must re-lease the warm engine and
+    match a cold batch run of the modified instance.  All equality is
+    asserted; the speedups are reported, never asserted."""
+    import tempfile
+
+    from repro.service.jobs import JobManager, modified_problem
+
+    problem = dblp_like(scale=scale, num_ads=3, seed=13)
+    params = {
+        "seed": 0, "epsilon": 0.3, "max_rr_sets_per_ad": max_rr_sets,
+        "chunk_size": 512,
+    }
+    new_budget = float(problem.catalog[0].budget * 1.5)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as cache_dir:
+        with JobManager(cache=cache_dir) as manager:
+
+            def run(submit) -> tuple[float, object, object]:
+                t0 = time.perf_counter()
+                job = submit()
+                result = manager.result(job.job_id)
+                return time.perf_counter() - t0, job, result
+
+            t_cold, cold_job, cold = run(
+                lambda: manager.submit(problem=problem, params=params)
+            )
+            t_warm, warm_job, warm = run(
+                lambda: manager.submit(problem=problem, params=params)
+            )
+            t_realloc, realloc_job, realloc = run(
+                lambda: manager.reallocate(
+                    cold_job.job_id, update_budgets={0: new_budget}
+                )
+            )
+        # Cold batch reference for the modified instance (same cache so
+        # the comparison stays hermetic under $REPRO_CACHE).
+        reference = TIRMAllocator(cache=cache_dir, **params).allocate(
+            modified_problem(problem, update_budgets={0: new_budget})
+        )
+    assert cold_job.engine_warm is False
+    assert warm_job.engine_warm is True
+    assert realloc_job.engine_warm is True
+    assert warm.stats["backend_invocations"] == 0
+    assert warm.allocation == cold.allocation
+    assert np.array_equal(warm.estimated_revenues, cold.estimated_revenues)
+    assert realloc.allocation == reference.allocation
+    assert np.array_equal(
+        realloc.estimated_revenues, reference.estimated_revenues
+    )
+    assert realloc.stats["theta_per_ad"] == reference.stats["theta_per_ad"]
+    return [
+        ["service", problem.num_nodes, "cold", 3, max_rr_sets, t_cold, 1.0],
+        ["service", problem.num_nodes, "warm", 3, max_rr_sets, t_warm,
+         t_cold / t_warm if t_warm > 0 else float("inf")],
+        ["service", problem.num_nodes, "realloc", 3, max_rr_sets, t_realloc,
+         t_cold / t_realloc if t_realloc > 0 else float("inf")],
+    ]
+
+
 _SECTION_COLUMNS = ("phase", "n", "variant", "ads", "theta", "wall_s", "speedup")
 
 
@@ -367,6 +441,7 @@ def write_json_report(
     transport_theta: int = TRANSPORT_THETA,
     prefetch_rr_cap: int = PREFETCH_RR_CAP,
     shard_cache_rr_cap: int = SHARD_CACHE_RR_CAP,
+    service_rr_cap: int = SERVICE_RR_CAP,
 ) -> dict:
     """Run every section and write a machine-readable report.
 
@@ -397,6 +472,7 @@ def write_json_report(
             "transport": transport_theta,
             "prefetch_rr_cap": prefetch_rr_cap,
             "shard_cache_rr_cap": shard_cache_rr_cap,
+            "service_rr_cap": service_rr_cap,
         },
         "sections": {
             "engine_cycle": cycle,
@@ -407,6 +483,7 @@ def write_json_report(
             "shard_cache": _as_records(
                 _shard_cache_rows(max_rr_sets=shard_cache_rr_cap)
             ),
+            "service": _as_records(_service_rows(max_rr_sets=service_rr_cap)),
         },
     }
     with open(path, "w") as handle:
@@ -550,9 +627,25 @@ def test_shard_cache_smoke(run_once):
     )
 
 
+def test_service_smoke(run_once):
+    """Cold submit vs warm resubmit vs incremental re-allocation through
+    the service's engine pool: zero warm backend invocations and byte-
+    equality vs the cold batch references (all asserted inside
+    ``_service_rows``); the speedups are reported, never asserted."""
+    rows = run_once(_service_rows, max_rr_sets=1_500)
+    print()
+    print(
+        format_table(
+            ["phase", "n", "job", "ads", "rr cap", "wall (s)", "speedup"],
+            rows,
+            title="Allocation service: cold vs warm vs incremental realloc",
+        )
+    )
+
+
 def test_json_report_smoke(tmp_path):
     """``--json`` artifact: every section present, rows well-formed."""
-    path = str(tmp_path / "BENCH_PR8.json")
+    path = str(tmp_path / "BENCH_PR9.json")
     report = write_json_report(
         path,
         cycle_theta=500,
@@ -561,6 +654,7 @@ def test_json_report_smoke(tmp_path):
         transport_theta=300,
         prefetch_rr_cap=1_000,
         shard_cache_rr_cap=1_000,
+        service_rr_cap=1_000,
     )
     with open(path) as handle:
         on_disk = json.load(handle)
@@ -568,7 +662,10 @@ def test_json_report_smoke(tmp_path):
     sections = on_disk["sections"]
     assert set(sections) == {
         "engine_cycle", "sharded_pilot", "growth_topup", "transport",
-        "prefetch", "shard_cache",
+        "prefetch", "shard_cache", "service",
+    }
+    assert {row["variant"] for row in sections["service"]} == {
+        "cold", "warm", "realloc",
     }
     assert {row["variant"] for row in sections["transport"]} == {"pickle", "shm"}
     assert {row["variant"] for row in sections["prefetch"]} == {"on", "off"}
@@ -590,11 +687,11 @@ def test_report_recorded_to_catalog(tmp_path):
             ),
         },
     }
-    record_report_to_catalog(report, str(tmp_path), "BENCH_PR8.json")
+    record_report_to_catalog(report, str(tmp_path), "BENCH_PR9.json")
     with ExperimentCatalog(str(tmp_path)) as catalog:
         (row,) = catalog.list_benchmarks()
     assert row["phase"] == "shard-cache"
-    assert row["report"] == "BENCH_PR8.json"
+    assert row["report"] == "BENCH_PR9.json"
 
 
 def record_report_to_catalog(report: dict, cache_dir: str, report_name: str) -> None:
@@ -688,6 +785,12 @@ if __name__ == "__main__":
             f"wall={wall:7.3f}s speedup={speedup:5.2f}x"
         )
     for row in _shard_cache_rows():
+        label, n, variant, ads, cap, wall, speedup = row
+        print(
+            f"{label:13s} n={n:7d} {variant:8s} h={ads} rr_cap={cap} "
+            f"wall={wall:7.3f}s speedup={speedup:5.2f}x"
+        )
+    for row in _service_rows():
         label, n, variant, ads, cap, wall, speedup = row
         print(
             f"{label:13s} n={n:7d} {variant:8s} h={ads} rr_cap={cap} "

@@ -23,6 +23,15 @@ Differences from the pseudocode, both documented in DESIGN.md:
 * ``select_rule="weighted"`` (default) ranks candidates by
   ``δ(v, i) · coverage`` — the true marginal-revenue order Algorithm 1
   maximises; ``"coverage"`` gives the literal Algorithm-3 ranking.
+
+This module is the **batch facade**: parameter validation, the
+checkpoint compatibility record, and engine/cache lifecycle.  The loop
+itself lives in :mod:`repro.algorithms.session` as the resumable
+:class:`~repro.algorithms.session.AllocationSession` state machine —
+``allocate()`` builds one engine, runs one session to completion, and
+closes the engine, byte-identical to the historical monolithic loop by
+the equivalence suite.  Long-lived callers (the :mod:`repro.service`
+tier) drive sessions directly over pooled engines instead.
 """
 
 from __future__ import annotations
@@ -30,20 +39,25 @@ from __future__ import annotations
 import heapq
 import math
 import os
-from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.advertising.allocation import Allocation
 from repro.advertising.problem import AdAllocationProblem
 from repro.advertising.regret import regret_of
 from repro.algorithms.base import AllocationResult, Allocator
 from repro.algorithms.greedy import _beats
+
+# Re-exported for compatibility: the per-ad state record and the
+# cross-ad tie-break moved to the session module with the loop.
+from repro.algorithms.session import (  # noqa: F401
+    AllocationSession,
+    _AdState,
+    _select_candidate,
+)
 from repro.errors import ConfigurationError
 from repro.rrset.backends import BACKEND_MODES, SamplingBackend, resolve_backend
-from repro.rrset.checkpoint import TIRMCheckpoint, save_checkpoint
-from repro.rrset.pool import RRSetPool
-from repro.rrset.sampler import DEFAULT_CHUNK_SIZE, RRSetSampler
+from repro.rrset.checkpoint import TIRMCheckpoint
+from repro.rrset.sampler import DEFAULT_CHUNK_SIZE
 from repro.rrset.sharded import (
     ENGINE_MODES,
     RNG_MODES,
@@ -54,46 +68,6 @@ from repro.rrset.sharded import (
 from repro.rrset.tim import greedy_max_coverage, required_rr_sets
 from repro.utils.rng import spawn_generators
 from repro.utils.timing import Timer
-
-
-def _select_candidate(candidates):
-    """Cross-ad argmax with an order-independent tie-break.
-
-    ``candidates`` holds one ``(drop, node, cov, ad)`` tuple per active
-    ad.  The winner must not depend on catalog order — otherwise the
-    same problem under a permuted catalog can yield a different
-    allocation and a different regret.  Pairwise ε-comparisons cannot
-    guarantee that (they are not transitive: drops can chain across the
-    band boundary), so the choice is anchored at the *global* maximum
-    drop, which is itself order-independent: every candidate within
-    1e-12 of it is considered tied, and the tie breaks on the smaller
-    node id, then the exactly larger raw drop.  Only candidates that are
-    bit-identical in both remain catalog-order dependent — the
-    irreducibly symmetric case.
-    """
-    best_drop = max(c[0] for c in candidates)
-    if best_drop <= 1e-12:
-        return None
-    in_band = [c for c in candidates if c[0] >= best_drop - 1e-12]
-    return min(in_band, key=lambda c: (c[1], -c[0]))
-
-
-@dataclass
-class _AdState:
-    """Mutable per-advertiser bookkeeping for one TIRM run."""
-
-    sampler: RRSetSampler
-    collection: RRSetPool
-    seed_size_estimate: int = 1
-    revenue: float = 0.0
-    seeds_in_order: list[int] = field(default_factory=list)
-    marginal_coverage: dict[int, int] = field(default_factory=dict)
-    heap: list[tuple[float, int]] = field(default_factory=list)
-    active: bool = True
-
-    @property
-    def theta(self) -> int:
-        return self.collection.num_total
 
 
 class TIRMAllocator(Allocator):
@@ -349,6 +323,11 @@ class TIRMAllocator(Allocator):
         # in `repro ls`, never part of any contract.
         self.dataset = dataset
         self._seed = seed
+        # Resolved at allocate() (or by the session guard): "auto"
+        # commits to a substrate before any sampling so stats/
+        # provenance/checkpoints record the resolved names.
+        self._backend_obj = None
+        self._transport_resolved = None
 
     # ------------------------------------------------------------------
     def allocate(self, problem: AdAllocationProblem) -> AllocationResult:
@@ -376,10 +355,6 @@ class TIRMAllocator(Allocator):
     def _allocate_with_cache(
         self, problem: AdAllocationProblem, cache
     ) -> AllocationResult:
-        h, n = problem.num_ads, problem.num_nodes
-        budgets = problem.catalog.budgets()
-        cpes = problem.catalog.cpes()
-        allocation = Allocation(h, n)
         # Resolve the sampling backend up front: "auto" commits to a
         # substrate (and warns if it degrades) before any sampling, an
         # unavailable explicit "numba" fails here with a clean
@@ -394,10 +369,35 @@ class TIRMAllocator(Allocator):
         self._transport_resolved = ShardedSamplingEngine.resolve_transport(
             self.transport
         )
-        checkpoint = None
-        if self.resume_from is not None:
-            checkpoint = TIRMCheckpoint.load(self.resume_from)
-            checkpoint.validate_config(self._checkpoint_config(problem))
+        checkpoint = self._load_checkpoint(problem)
+        engine = self._build_engine(problem, cache, checkpoint)
+        with engine:
+            session = AllocationSession(
+                problem, self, engine=engine, cache=cache, checkpoint=checkpoint
+            )
+            return session.run()
+
+    # ------------------------------------------------------------------
+    # Engine / checkpoint plumbing (shared with the service tier)
+    # ------------------------------------------------------------------
+    def _load_checkpoint(self, problem) -> TIRMCheckpoint | None:
+        """Load and validate ``resume_from``, or ``None`` for a fresh run."""
+        if self.resume_from is None:
+            return None
+        checkpoint = TIRMCheckpoint.load(self.resume_from)
+        checkpoint.validate_config(self._checkpoint_config(problem))
+        return checkpoint
+
+    def _build_engine(
+        self, problem, cache, checkpoint=None, **engine_kwargs
+    ) -> ShardedSamplingEngine:
+        """Construct the sharded engine for one run of ``problem``.
+
+        ``engine_kwargs`` pass through to the engine constructor — the
+        service tier uses this to enable ``retain_blocks`` on pooled
+        engines; the batch facade passes nothing extra.
+        """
+        h = problem.num_ads
         # Counter-based streams take the master seed directly (per-ad
         # separation happens in the spawn key); the legacy streams keep
         # the historical per-ad child generators for bit-exactness.  On
@@ -409,8 +409,7 @@ class TIRMAllocator(Allocator):
             seeds = list(checkpoint.entropies)
         else:
             seeds = self._seed
-
-        engine = ShardedSamplingEngine(
+        return ShardedSamplingEngine(
             problem.graph,
             [problem.ad_edge_probabilities(ad) for ad in range(h)],
             seeds=seeds,
@@ -419,177 +418,15 @@ class TIRMAllocator(Allocator):
             max_workers=self.max_workers,
             rng=self.rng,
             chunk_size=self.chunk_size,
-            backend=self._backend_obj,
+            backend=self._backend_obj if self._backend_obj is not None
+            else self.backend,
             transport=self.transport,
             start_method=self.start_method,
             dsan=self.dsan,
             cache=cache,
-        )
-        checkpoints_written = 0
-        resumed_at = None
-        truncated = False
-        with engine:
-            if checkpoint is not None:
-                checkpoint.restore_engine(engine)
-                states = self._restored_states(checkpoint, engine, allocation)
-                iterations = checkpoint.iterations
-                resumed_at = checkpoint.iterations
-                lineage = checkpoint.lineage + [
-                    {
-                        "resumed_from": self.resume_from,
-                        "at_iteration": checkpoint.iterations,
-                    }
-                ]
-            else:
-                states = self._initial_states(problem, engine)
-                iterations = 0
-                lineage = []
-            # Heaps are derived state: the lazy selector's answers are
-            # pure functions of the coverage counters, so rebuilding them
-            # here keeps fresh and resumed runs on identical trajectories.
-            for ad in range(h):
-                self._rebuild_heap(problem, ad, states[ad])
-            start_iterations = iterations
-
-            while True:
-                candidates = []
-                for ad in range(h):
-                    state = states[ad]
-                    if not state.active:
-                        continue
-                    candidate = self._best_candidate(
-                        problem, ad, state, allocation, budgets, cpes
-                    )
-                    if candidate is None:
-                        continue
-                    node, cov, _, drop = candidate
-                    candidates.append((drop, node, cov, ad))
-                chosen = _select_candidate(candidates) if candidates else None
-                if chosen is None:
-                    break
-                best_drop, best_node, best_cov, best_ad = chosen
-
-                state = states[best_ad]
-                marginal = self._marginal_revenue(
-                    problem, best_ad, state, best_node, best_cov, cpes
-                )
-                allocation.assign(best_node, best_ad)
-                state.seeds_in_order.append(best_node)
-                state.marginal_coverage[best_node] = best_cov
-                state.revenue += marginal
-                state.collection.remove_covered(best_node)
-                iterations += 1
-
-                if len(state.seeds_in_order) == state.seed_size_estimate:
-                    self._grow_samples(
-                        problem, [best_ad], states, budgets, cpes,
-                        {best_ad: marginal}, engine,
-                    )
-
-                # Iteration boundary: the run state is consistent here
-                # (seed assigned, samples grown, revenue re-estimated),
-                # so this is where snapshots and time-bounded stops land.
-                stop = (
-                    self.max_iterations is not None
-                    and iterations - start_iterations >= self.max_iterations
-                )
-                if self.checkpoint_path is not None and (
-                    stop or iterations % self.checkpoint_every == 0
-                ):
-                    self._write_checkpoint(
-                        problem, engine, states, iterations, lineage
-                    )
-                    checkpoints_written += 1
-                if stop:
-                    truncated = True
-                    break
-
-        revenues = np.asarray([s.revenue for s in states])
-        # The RNG contract travels with the allocation: the master seed
-        # plus (for counter-based streams) the derived entropy root is
-        # what re-derives the exact RR samples behind these seed sets.
-        # A generator-valued seed was consumed while sampling and cannot
-        # be recorded — ``seed`` is None then, and under legacy streams
-        # such a run is not re-derivable (under philox the entropy root
-        # alone still is).
-        seed = int(self._seed) if isinstance(self._seed, (int, np.integer)) else None
-        allocation.set_provenance(
-            algorithm=self.name,
-            rng=self.rng,
-            chunk_size=self.chunk_size if self.rng == "philox" else None,
-            sampler_mode=self.sampler_mode,
-            engine=self.engine,
-            backend=engine.backend_name,
-            transport=engine.transport,
-            seed=seed,
-            stream_entropy=engine.stream_entropy(0),
-        )
-        # Checkpoint lineage travels with the allocation, but only for
-        # runs that actually touched the checkpoint machinery — an
-        # uninterrupted run's provenance stays identical to a plain one.
-        if self.checkpoint_path is not None or self.resume_from is not None:
-            allocation.set_provenance(
-                checkpoint={
-                    "path": self.checkpoint_path,
-                    "every": self.checkpoint_every,
-                    "written": checkpoints_written,
-                    "resumed_from": self.resume_from,
-                    "resumed_at_iteration": resumed_at,
-                    "lineage": lineage,
-                }
-            )
-        stats = {
-            "iterations": iterations,
-            "theta_per_ad": [s.theta for s in states],
-            "seed_size_estimates": [s.seed_size_estimate for s in states],
-            "total_rr_sets": int(sum(s.theta for s in states)),
-            "rr_memory_bytes": int(sum(s.collection.memory_bytes() for s in states)),
-            "epsilon": self.epsilon,
-            "select_rule": self.select_rule,
-            "sampler_mode": self.sampler_mode,
-            "engine": self.engine,
-            "rng": self.rng,
-            "chunk_size": self.chunk_size if self.rng == "philox" else None,
-            "backend": engine.backend_name,
-            "transport": engine.transport,
-            "start_method": engine.start_method,
-            "prefetch": self.prefetch,
-            "dsan": engine.dsan,
-            "checkpoints_written": checkpoints_written,
-            "resumed_at_iteration": resumed_at,
-            "truncated": truncated,
-            # Actual compute performed — the warm-start headline: a run
-            # served entirely from the shard cache reports zero here.
-            "backend_invocations": engine.backend_invocations,
-        }
-        cache_stats = engine.cache_stats()
-        if cache_stats is not None:
-            stats["cache"] = cache_stats
-        if engine.dsan:
-            # Digest maps key on (ad, chunk) tuples; stats serialize to
-            # JSON in the CLI, so the keys flatten to "ad:chunk" strings.
-            stats["dsan_digests"] = {
-                f"{ad}:{chunk}": digest
-                for (ad, chunk), digest in sorted(engine.dsan_digests().items())
-            }
-            stats["dsan_root"] = engine.dsan_root()
-            # A sanitized run's provenance carries the whole-run RR-byte
-            # fingerprint; an unsanitized run's provenance is unchanged.
-            allocation.set_provenance(dsan_root=stats["dsan_root"])
-        if cache is not None:
-            self._record_allocation(cache, engine, stats, allocation)
-        return AllocationResult(
-            algorithm=self.name,
-            allocation=allocation,
-            estimated_revenues=revenues,
-            budgets=budgets,
-            penalty=problem.penalty,
-            stats=stats,
+            **engine_kwargs,
         )
 
-    # ------------------------------------------------------------------
-    # Checkpoint / resume plumbing
-    # ------------------------------------------------------------------
     def _checkpoint_config(self, problem) -> dict:
         """The compatibility record stored in (and validated against)
         every checkpoint artifact: resuming under different allocator
@@ -602,6 +439,12 @@ class TIRMAllocator(Allocator):
         numba/shm (and vice versa) unchanged.
         """
         seed = int(self._seed) if isinstance(self._seed, (int, np.integer)) else None
+        if self._backend_obj is None:
+            self._backend_obj = resolve_backend(self.backend)
+        if self._transport_resolved is None:
+            self._transport_resolved = ShardedSamplingEngine.resolve_transport(
+                self.transport
+            )
         return {
             "algorithm": self.name,
             "rng": self.rng,
@@ -621,121 +464,14 @@ class TIRMAllocator(Allocator):
             "seed": seed,
         }
 
-    def _write_checkpoint(
-        self, problem, engine, states, iterations: int, lineage: list
-    ) -> None:
-        per_ad = [
-            {
-                "seeds": state.seeds_in_order,
-                "marginal_nodes": list(state.marginal_coverage.keys()),
-                "marginal_counts": list(state.marginal_coverage.values()),
-                "revenue": state.revenue,
-                "seed_size_estimate": state.seed_size_estimate,
-                "active": state.active,
-            }
-            for state in states
-        ]
-        save_checkpoint(
-            self.checkpoint_path,
-            config=self._checkpoint_config(problem),
-            engine=engine,
-            per_ad=per_ad,
-            iterations=iterations,
-            lineage=lineage,
-        )
-        if engine.cache is not None:
-            # Register the artifact and the shard prefixes a resume
-            # would re-read, so `repro gc` refuses to evict them while
-            # the checkpoint is live.  Re-registration (the artifact is
-            # atomically overwritten each boundary) replaces the row.
-            engine.cache.catalog.record_checkpoint(
-                self.checkpoint_path,
-                iterations=iterations,
-                config=self._checkpoint_config(problem),
-                shard_refs=engine.shard_cache_refs(),
-            )
-
-    def _record_allocation(self, cache, engine, stats: dict, allocation) -> None:
-        """One experiment-catalog row per completed cached allocation:
-        the determinism contract (seed/rng/chunk_size/dsan_root), the
-        substrate provenance (engine/backend/transport), the cache
-        counters, and the full provenance/stats blobs — what
-        ``repro ls / show / diff`` read back."""
-        seed = int(self._seed) if isinstance(self._seed, (int, np.integer)) else None
-        cache.flush()
-        cache.catalog.record_allocation({
-            "algorithm": self.name,
-            "dataset": self.dataset,
-            "seed": seed,
-            "rng": self.rng,
-            "chunk_size": self.chunk_size if self.rng == "philox" else None,
-            "engine": self.engine,
-            "backend": engine.backend_name,
-            "transport": engine.transport,
-            "dsan_root": stats.get("dsan_root"),
-            "iterations": stats["iterations"],
-            "total_rr_sets": stats["total_rr_sets"],
-            "cache_hits": stats["cache"]["hits"],
-            "cache_misses": stats["cache"]["misses"],
-            "backend_invocations": stats["backend_invocations"],
-            "provenance": allocation.provenance or {},
-            "stats": {
-                key: value for key, value in stats.items()
-                if key != "dsan_digests"  # the root fingerprint suffices
-            },
-        })
-
-    def _restored_states(
-        self, checkpoint: TIRMCheckpoint, engine, allocation: Allocation
-    ) -> list[_AdState]:
-        """Rebuild the per-ad allocator state (and the allocation's seed
-        assignments) from a restored snapshot.  The marginal-coverage
-        dicts keep their checkpointed insertion order — revenue
-        re-estimation sums floats in it."""
-        states = []
-        for ad in range(engine.num_ads):
-            state = _AdState(
-                sampler=engine.sampler(ad), collection=engine.shard(ad)
-            )
-            state.seed_size_estimate = int(checkpoint.seed_size_estimate[ad])
-            state.revenue = float(checkpoint.revenue[ad])
-            state.seeds_in_order = checkpoint.seeds_in_order(ad)
-            state.marginal_coverage = checkpoint.marginal_coverage(ad)
-            state.active = bool(checkpoint.active[ad])
-            for user in state.seeds_in_order:
-                allocation.assign(user, ad)
-            states.append(state)
-        return states
-
     # ------------------------------------------------------------------
-    # Initialisation and sampling
+    # Selection / θ policy (Algorithm 3, lazily)
     # ------------------------------------------------------------------
-    def _initial_states(
-        self, problem, engine: ShardedSamplingEngine
-    ) -> list[_AdState]:
-        """Batched pilot phase over the sharded engine.
-
-        Both rounds — the fixed-size pilots and the first ``θ_i = L(1, ε)``
-        top-ups — are issued for *all* ads at once, so the process engine
-        samples every ad (and, under counter-based streams, every chunk)
-        concurrently.  Requests address absolute sample-count targets via
-        ``engine.ensure``: each ad's shard is grown to hold set indices
-        ``[0, target)``, never "``k`` more sets from wherever the stream
-        happens to be".
-        """
-        h = problem.num_ads
-        states = [
-            _AdState(sampler=engine.sampler(ad), collection=engine.shard(ad))
-            for ad in range(h)
-        ]
-        pilot = max(
-            min(self.initial_pilot, self.max_rr_sets_per_ad), self.min_rr_sets_per_ad
-        )
-        engine.ensure({ad: pilot for ad in range(h)})
-        engine.ensure(
-            {ad: self._theta_for(problem, states[ad], s=1) for ad in range(h)}
-        )
-        return states
+    # These are the *policy* half of the refactor: pure functions of the
+    # run state with no engine or lifecycle coupling, kept on the config
+    # object (old signatures, ``problem`` passed in) so the session
+    # delegates to them and subclasses — including the frozen legacy
+    # harness in the equivalence suite — can override them.
 
     #: Greedy-cover pilot size for OPT_s estimation: the cover runs on an
     #: i.i.d. prefix of the sample, so a fixed-size pilot estimates the
@@ -756,70 +492,6 @@ class TIRMAllocator(Allocator):
         theta = required_rr_sets(n, s, self.epsilon, opt_lower, ell=self.ell)
         return int(min(max(theta, self.min_rr_sets_per_ad), self.max_rr_sets_per_ad))
 
-    def _grow_samples(self, problem, ads, states, budgets, cpes,
-                      last_marginals, engine: ShardedSamplingEngine) -> None:
-        """Algorithm 2 lines 14–19: revise each listed ad's ``s_i``, top
-        up the grown ``θ_i`` through the engine in one request, then
-        re-estimate existing seeds' coverage (Algorithm 4) per ad.
-
-        The entry point is batch-shaped (a list of ads) but Algorithm
-        2's trigger fires for one ad per iteration — the ad whose seed
-        count just reached its estimate.  Under counter-based streams
-        the engine splits even that single-ad request into ``(ad,
-        chunk)`` tasks fanned across the process pool, so the growth
-        phase — previously the serial bottleneck — scales with workers.
-        The request names the absolute target ``θ_i`` (set indices
-        ``[0, θ_i)``), so the sampled sets are independent of how growth
-        events interleave."""
-        targets: dict[int, int] = {}
-        for ad in ads:
-            state = states[ad]
-            regret = regret_of(
-                budgets[ad], state.revenue, problem.penalty, len(state.seeds_in_order)
-            )
-            last_marginal = last_marginals[ad]
-            if last_marginal > 0:
-                growth = int(math.floor(regret / last_marginal))
-            else:
-                growth = 0
-            state.seed_size_estimate += max(growth, 1)
-
-            target = self._theta_for(problem, state, state.seed_size_estimate)
-            if target > state.theta:
-                targets[ad] = target
-        if not targets:
-            return
-        engine.ensure(targets)
-        if self.prefetch:
-            # Speculative pipeline hint: the *next* growth event for this
-            # ad will raise s_i by at least 1, so θ(s_i + 1) lower-bounds
-            # the next θ target.  Submitting those chunks now lets the
-            # worker pool sample them while the parent runs Algorithm 4
-            # and the greedy selection below — legal because chunks are
-            # pure functions of their stream address, so the speculative
-            # sets are byte-identical whether or not they are needed
-            # (never-consumed chunks are discarded at engine close).
-            hints: dict[int, int] = {}
-            for ad in sorted(targets):
-                state = states[ad]
-                hint = self._theta_for(problem, state, state.seed_size_estimate + 1)
-                if hint > state.theta:
-                    hints[ad] = hint
-            if hints:
-                engine.prefetch(hints)
-        for ad in sorted(targets):
-            state = states[ad]
-            # Algorithm 4: walk existing seeds in selection order, credit
-            # each with its coverage among the new (still-alive) sets, and
-            # remove what it covers so later seeds are not double-credited.
-            # ``remove_covered`` returns exactly the alive-set count the
-            # old code recomputed via ``sets_containing`` — one index
-            # walk, not two.
-            for node in state.seeds_in_order:
-                state.marginal_coverage[node] += state.collection.remove_covered(node)
-            self._recompute_revenue(problem, ad, state, cpes)
-            self._rebuild_heap(problem, ad, state)
-
     def _recompute_revenue(self, problem, ad: int, state: _AdState, cpes) -> None:
         """``Π_i(S_i) = Σ_v cpe·n·δ(v,i)·cov(v)/θ_i`` over chosen seeds."""
         n = problem.num_nodes
@@ -832,9 +504,6 @@ class TIRMAllocator(Allocator):
             )
         )
 
-    # ------------------------------------------------------------------
-    # Candidate selection (Algorithm 3, lazily)
-    # ------------------------------------------------------------------
     def _score(self, problem, ad: int, node: int, cov: int) -> float:
         if self.select_rule == "weighted":
             return float(problem.ctps[ad, node]) * cov

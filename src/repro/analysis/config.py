@@ -72,11 +72,14 @@ class AnalysisConfig:
     #: Modules allowed to touch nondeterministic seed sources (rule
     #: R102).  The experiment catalog is the store's declared wall-clock
     #: seam: row timestamps are provenance metadata, never sampling
-    #: inputs.
+    #: inputs.  The service job manager is sanctioned on the same
+    #: argument: job ``created_at``/``finished_at`` timestamps describe
+    #: the service, never feed a sampler.
     seed_source_modules: frozenset[str] = frozenset(
         {
             "repro/utils/rng.py",
             "repro/store/catalog.py",
+            "repro/service/jobs.py",
         }
     )
     #: Modules where iteration order feeds selection/splicing (rule R103).
@@ -88,6 +91,15 @@ class AnalysisConfig:
     #: ``open()`` outside a ``with``); entries ending in ``/`` match as
     #: directory prefixes, like ``hot_path_modules``.
     resource_hygiene_modules: tuple[str, ...] = ("repro/store/",)
+    #: Modules where R104 additionally enforces network-resource
+    #: hygiene: a scope that creates an asyncio server
+    #: (``asyncio.start_server``) or a raw socket (``socket.socket`` /
+    #: ``socket.create_connection``) must reach a ``close()`` /
+    #: ``wait_closed()`` on its success *and* error flows, unless the
+    #: object is managed by a ``with`` block.  The resident service
+    #: holds these resources across client lifetimes, so an unclosed
+    #: server or socket there is a leak bug, not a style nit.
+    service_modules: tuple[str, ...] = ("repro/service/",)
     #: The one module allowed to touch the pool's private buffers (R105).
     pool_module: str = "repro/rrset/pool.py"
     #: The private buffer attributes R105 guards.
@@ -117,6 +129,12 @@ class AnalysisConfig:
         return any(
             key.startswith(prefix) if prefix.endswith("/") else key == prefix
             for prefix in self.resource_hygiene_modules
+        )
+
+    def is_service(self, key: str) -> bool:
+        return any(
+            key.startswith(prefix) if prefix.endswith("/") else key == prefix
+            for prefix in self.service_modules
         )
 
     def is_pool_module(self, key: str) -> bool:

@@ -227,6 +227,71 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="N", help="target total size of cached block files")
     gc.add_argument("--dry-run", action="store_true", dest="dry_run",
                     help="report what would be evicted without deleting")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the resident allocation service (warm engine pools; "
+             "line-delimited JSON over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: pick an ephemeral port "
+                            "and publish it via --port-file)")
+    serve.add_argument("--port-file", default=None, dest="port_file",
+                       metavar="PATH",
+                       help="write the bound port to PATH (atomic; removed "
+                            "on shutdown) so clients find an ephemeral port")
+    serve.add_argument("--cache", default=None, metavar="DIR", help=cache_help)
+
+    def _add_conn_args(command) -> None:
+        command.add_argument("--host", default="127.0.0.1")
+        command.add_argument("--port", type=int, default=None,
+                             help="service port (or use --port-file)")
+        command.add_argument("--port-file", default=None, dest="port_file",
+                             metavar="PATH",
+                             help="read the service port from PATH "
+                                  "(written by `repro serve --port-file`)")
+
+    submit = commands.add_parser(
+        "submit", help="submit an allocation job to a running service"
+    )
+    submit.add_argument("dataset", choices=sorted(DATASETS))
+    _add_conn_args(submit)
+    submit.add_argument("--scale", type=float, default=None)
+    submit.add_argument("--num-ads", type=int, default=None, dest="num_ads")
+    submit.add_argument("--attention-bound", type=int, default=None,
+                        dest="attention_bound")
+    submit.add_argument("--penalty", type=float, default=None)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--epsilon", type=float, default=0.1)
+    submit.add_argument("--max-rr-sets", type=int, default=20_000,
+                        dest="max_rr_sets")
+    submit.add_argument("--engine", choices=("serial", "process"),
+                        default="serial")
+    submit.add_argument("--rng", choices=RNG_MODES, default="philox")
+    submit.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                        dest="chunk_size")
+    submit.add_argument("--dsan", action="store_true")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print its "
+                             "result summary")
+
+    progress = commands.add_parser(
+        "progress", help="query one service job's progress snapshot"
+    )
+    progress.add_argument("job_id")
+    _add_conn_args(progress)
+
+    cancel = commands.add_parser(
+        "cancel", help="stop a service job at its next iteration boundary"
+    )
+    cancel.add_argument("job_id")
+    _add_conn_args(cancel)
+    cancel.add_argument("--wait", action="store_true",
+                        help="block until the truncated result lands")
+
+    jobs = commands.add_parser("jobs", help="list a running service's jobs")
+    _add_conn_args(jobs)
     return parser
 
 
@@ -414,6 +479,84 @@ def _cmd_gc(args) -> int:
     return store_commands.cmd_gc(args)
 
 
+def _cmd_serve(args) -> int:
+    # Lazy import: the service tier (asyncio server, engine pool) is
+    # machinery the batch commands never need.
+    from repro.service import AllocationServer, JobManager
+
+    manager = JobManager(cache=args.cache)
+    server = AllocationServer(manager, host=args.host, port=args.port)
+    server.serve(port_file=args.port_file)
+    return 0
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.port, host=args.host, port_file=args.port_file)
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    client = _service_client(args)
+    params = {
+        "seed": args.seed,
+        "epsilon": args.epsilon,
+        "max_rr_sets_per_ad": args.max_rr_sets,
+        "engine": args.engine,
+        "rng": args.rng,
+        "chunk_size": args.chunk_size,
+    }
+    if args.dsan:
+        params["dsan"] = True
+    job_id = client.submit(
+        args.dataset, params=params, dataset_kwargs=_dataset_kwargs(args)
+    )
+    print(job_id)
+    if args.wait:
+        result = client.wait(job_id)
+        print(json.dumps(
+            {key: result[key] for key in
+             ("state", "iterations", "total_seeds", "engine_warm")}
+            | {"backend_invocations": result["stats"]["backend_invocations"],
+               "dsan_root": result["stats"].get("dsan_root")},
+            indent=2,
+        ))
+    return 0
+
+
+def _cmd_progress(args) -> int:
+    import json
+
+    record = _service_client(args).progress(args.job_id)
+    # The per-ad snapshot payload is bulky; the summary is the headline.
+    record.pop("snapshot", None)
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    record = _service_client(args).cancel(args.job_id, wait=args.wait)
+    print(f"{record['job_id']}: {record['state']}")
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    rows = [
+        [job["job_id"], job["dataset"], job["state"], job["iterations"],
+         job["total_seeds"],
+         {True: "warm", False: "cold", None: "-"}[job["engine_warm"]],
+         job["source_job_id"] or "-"]
+        for job in _service_client(args).list_jobs()
+    ]
+    print(format_table(
+        ["job", "dataset", "state", "iters", "seeds", "engine", "source"],
+        rows,
+    ))
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "allocate": _cmd_allocate,
@@ -425,6 +568,11 @@ _COMMANDS = {
     "show": _cmd_show,
     "diff": _cmd_diff,
     "gc": _cmd_gc,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "progress": _cmd_progress,
+    "cancel": _cmd_cancel,
+    "jobs": _cmd_jobs,
 }
 
 
@@ -441,3 +589,9 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (``repro submit --wait | head -1``);
+        # point stdout at devnull so the interpreter's shutdown flush
+        # does not traceback, and exit like a well-behaved filter.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

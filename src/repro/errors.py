@@ -59,6 +59,20 @@ class DeterminismError(ReproError):
         self.chunk = chunk
 
 
+class SessionError(ReproError):
+    """Raised for invalid allocation-session transitions: driving a
+    failed session, reading a result before a terminal state, or handing
+    a fresh session a non-empty engine (stale shards would silently skew
+    every θ estimate — see ``ShardedSamplingEngine.reset_for_reuse``)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the allocation service (:mod:`repro.service`) for
+    unknown job ids, malformed requests, re-allocation against an
+    unfinished job, or a client request the server answered with an
+    error payload."""
+
+
 class StoreError(ReproError):
     """Raised by the shard cache / experiment catalog (:mod:`repro.store`)
     for unusable store directories, malformed catalog databases, or

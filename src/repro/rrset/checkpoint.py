@@ -155,6 +155,63 @@ def _reusable_spill(path: str, config: dict, theta: np.ndarray) -> str | None:
     return previous.spill_file if os.path.exists(sidecar) else None
 
 
+def build_snapshot(
+    *,
+    config: dict,
+    engine: ShardedSamplingEngine,
+    per_ad: list[dict],
+    iterations: int,
+    lineage: list[dict],
+) -> dict:
+    """The checkpoint payload as one JSON-friendly dict — no file.
+
+    This is the single serializer behind both snapshot consumers: the
+    on-disk artifact (:func:`save_checkpoint` writes exactly these
+    fields, adding only the bulk alive masks / legacy member spill) and
+    the live progress reports of
+    :meth:`~repro.algorithms.session.AllocationSession.progress` (the
+    service's ``query-progress`` answers are this dict verbatim).  One
+    serializer means the two views cannot drift: a field added here
+    shows up in both the artifact and the wire format.
+
+    ``per_ad`` takes one dict per advertiser with keys ``seeds``,
+    ``marginal_nodes``, ``marginal_counts``, ``revenue``,
+    ``seed_size_estimate`` and ``active`` — insertion order of the
+    marginal maps is preserved (revenue re-estimation sums floats in
+    it).  Everything is plain ints/floats/lists, so ``json.dumps``
+    round-trips the snapshot unchanged.
+    """
+    h = engine.num_ads
+    if len(per_ad) != h:
+        raise ValueError(f"got {len(per_ad)} per-ad records for {h} shards")
+    snapshot: dict = {
+        "format": "tirm-checkpoint",
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "config": dict(config),
+        "iterations": int(iterations),
+        "lineage": list(lineage),
+        "theta": [int(engine.shard(ad).num_total) for ad in range(h)],
+        "revenue": [float(p["revenue"]) for p in per_ad],
+        "seed_size_estimate": [int(p["seed_size_estimate"]) for p in per_ad],
+        "active": [bool(p["active"]) for p in per_ad],
+        "seeds": [[int(v) for v in p["seeds"]] for p in per_ad],
+        "marginal_nodes": [
+            [int(v) for v in p["marginal_nodes"]] for p in per_ad
+        ],
+        "marginal_counts": [
+            [int(v) for v in p["marginal_counts"]] for p in per_ad
+        ],
+    }
+    if engine.rng == "philox":
+        snapshot["entropies"] = [engine.stream_entropy(ad) for ad in range(h)]
+    else:
+        snapshot["entropies"] = None
+        snapshot["legacy_states"] = [
+            engine.sampler(ad).legacy_state() for ad in range(h)
+        ]
+    return snapshot
+
+
 def save_checkpoint(
     path,
     *,
@@ -171,48 +228,47 @@ def save_checkpoint(
     ``marginal_nodes``, ``marginal_counts``, ``revenue``,
     ``seed_size_estimate`` and ``active``, and ``lineage`` the list of
     resume events this run inherited (recorded into
-    ``Allocation.provenance`` by the allocator).
+    ``Allocation.provenance`` by the allocator).  The payload fields
+    come from :func:`build_snapshot`; this function only adds the bulk
+    state a live progress report omits (bit-packed alive masks and, for
+    legacy streams, the member spill) and the atomic file plumbing.
     """
     path = os.fspath(path)
     h = engine.num_ads
-    if len(per_ad) != h:
-        raise ValueError(f"got {len(per_ad)} per-ad records for {h} shards")
+    snapshot = build_snapshot(
+        config=config,
+        engine=engine,
+        per_ad=per_ad,
+        iterations=iterations,
+        lineage=lineage,
+    )
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
     meta: dict = {
-        "format": "tirm-checkpoint",
-        "format_version": CHECKPOINT_FORMAT_VERSION,
-        "config": dict(config),
-        "iterations": int(iterations),
-        "lineage": list(lineage),
+        key: snapshot[key]
+        for key in ("format", "format_version", "config", "iterations", "lineage")
     }
     arrays: dict[str, np.ndarray] = {
-        "theta": np.asarray(
-            [engine.shard(ad).num_total for ad in range(h)], dtype=np.int64
-        ),
-        "revenue": np.asarray([p["revenue"] for p in per_ad], dtype=np.float64),
+        "theta": np.asarray(snapshot["theta"], dtype=np.int64),
+        "revenue": np.asarray(snapshot["revenue"], dtype=np.float64),
         "seed_size_estimate": np.asarray(
-            [p["seed_size_estimate"] for p in per_ad], dtype=np.int64
+            snapshot["seed_size_estimate"], dtype=np.int64
         ),
-        "active": np.asarray([p["active"] for p in per_ad], dtype=bool),
+        "active": np.asarray(snapshot["active"], dtype=bool),
     }
     for ad in range(h):
-        arrays[f"seeds_{ad}"] = np.asarray(per_ad[ad]["seeds"], dtype=np.int64)
+        arrays[f"seeds_{ad}"] = np.asarray(snapshot["seeds"][ad], dtype=np.int64)
         arrays[f"marginal_nodes_{ad}"] = np.asarray(
-            per_ad[ad]["marginal_nodes"], dtype=np.int64
+            snapshot["marginal_nodes"][ad], dtype=np.int64
         )
         arrays[f"marginal_counts_{ad}"] = np.asarray(
-            per_ad[ad]["marginal_counts"], dtype=np.int64
+            snapshot["marginal_counts"][ad], dtype=np.int64
         )
         arrays[f"alive_{ad}"] = np.packbits(engine.shard(ad).alive_mask())
-    if engine.rng == "philox":
-        meta["entropies"] = [engine.stream_entropy(ad) for ad in range(h)]
-    else:
-        meta["entropies"] = None
-        meta["legacy_states"] = [
-            engine.sampler(ad).legacy_state() for ad in range(h)
-        ]
+    meta["entropies"] = snapshot["entropies"]
+    if engine.rng != "philox":
+        meta["legacy_states"] = snapshot["legacy_states"]
         spill_parts: list[np.ndarray] = []
         for ad in range(h):
             view = engine.shard(ad).prefix_view()

@@ -467,6 +467,7 @@ class ShardedSamplingEngine:
         dsan: bool | None = None,
         dsan_expected: Mapping | None = None,
         cache=None,
+        retain_blocks: bool = False,
     ) -> None:
         if mode not in SAMPLER_MODES:
             raise ConfigurationError(
@@ -541,6 +542,16 @@ class ShardedSamplingEngine:
                 )
                 for ad in range(h)
             ]
+        # Captured before any sampling: reset_for_reuse rewinds the
+        # stateful legacy streams to these states so a reused engine
+        # replays the exact per-ad sequences a fresh engine would.
+        # (Philox streams need no capture — they are stateless functions
+        # of (entropy, ad, chunk); only num_sampled is rewound.)
+        self._legacy_initial_states = (
+            [sampler.legacy_state() for sampler in self._samplers]
+            if rng == "legacy"
+            else None
+        )
         self._shards = [RRSetPool(graph.num_nodes) for _ in range(h)]
         # Per-ad cache of the last *partial* tail chunk's full block:
         # chunks are pure, so a θ continuation that re-enters the chunk
@@ -548,11 +559,24 @@ class ShardedSamplingEngine:
         # block per ad; with it, every chunk is computed exactly once
         # per engine lifetime.  ad -> (chunk_index, (members, lengths)).
         self._tail_blocks: dict[int, tuple[int, tuple[np.ndarray, np.ndarray]]] = {}
+        # In-memory chunk-block memo for pooled (resident) engines: with
+        # ``retain_blocks`` every full chunk block ever spliced is kept,
+        # keyed by its pure ``(ad, chunk)`` stream address, and consulted
+        # before the shard cache and the backend.  This is what makes a
+        # warm-pool resubmit perform *zero* backend invocations even
+        # without a disk cache: :meth:`reset_for_reuse` empties the
+        # shards but keeps the memo, because chunk addresses — unlike
+        # shard contents — are independent of run history.  Off by
+        # default (batch engines die after one run; the memo would only
+        # duplicate the shards' memory).
+        self._retain_blocks = bool(retain_blocks)
+        self._block_memo: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
         self._max_workers = max_workers
         self._engine_id = next(_ENGINE_IDS)
         self._warned_degraded = False
         # Determinism sanitizer: an explicit expected map implies dsan
         # (there is nothing to check the map against otherwise).
+        self._dsan_expected = dsan_expected
         self._dsan: DsanRecorder | None = (
             DsanRecorder(
                 expected=dsan_expected, label=f"engine#{self._engine_id}"
@@ -776,12 +800,73 @@ class ShardedSamplingEngine:
     def memory_bytes(self) -> int:
         """Σ over shards of bytes held (the Table-4 figure), plus any
         shared-memory bytes the engine pins itself
-        (:meth:`shared_memory_bytes`) — honest accounting for the
-        externally-backed payload arena."""
+        (:meth:`shared_memory_bytes`) and the resident chunk-block memo
+        of a ``retain_blocks`` engine — honest accounting for the
+        externally-backed payload arena and the warm-pool residency."""
+        memo_bytes = sum(
+            int(members.nbytes) + int(lengths.nbytes)
+            for members, lengths in self._block_memo.values()
+        )
         return (
             int(sum(s.memory_bytes() for s in self._shards))
             + self.shared_memory_bytes()
+            + int(memo_bytes)
         )
+
+    # ------------------------------------------------------------------
+    # Warm reuse
+    # ------------------------------------------------------------------
+    def reset_for_reuse(self) -> None:
+        """Rewind the engine to its just-constructed state so a second
+        run over it is byte-identical to a fresh-engine run.
+
+        This is the leasing contract of the service tier's engine pool:
+        everything *run-scoped* is cleared — shards (fresh empty pools:
+        ``θ = num_total`` must restart at zero), per-ad tail-block
+        caches, in-flight prefetch futures (cancelled or drained, their
+        unconsumed segments unlinked), dsan digests (a fresh recorder
+        with the original ``expected`` map), legacy request ordinals and
+        divergence marks (the stateful legacy streams are rewound to
+        their captured initial states), sampler positions, and the
+        ``backend_invocations`` counter — while everything *engine-
+        scoped* stays warm: the worker pool and its JIT-compiled
+        backend state, the spawn payload arena, the shard cache handle
+        and content keys, and the ``retain_blocks`` chunk-block memo
+        (chunks are pure functions of ``(entropy, ad, chunk)``, which
+        reuse does not change).
+
+        Without this, a second allocation against a reused engine
+        inherits the previous run's tail blocks and dsan state — stale
+        θ accounting and false divergence reports.  Raises
+        :class:`~repro.errors.ConfigurationError` on a closed engine.
+        """
+        if not self._finalizer.alive:
+            raise ConfigurationError(
+                f"cannot reset ShardedSamplingEngine #{self._engine_id}: "
+                "the engine is closed"
+            )
+        # Drain the prefetch ledger in place — the dict object is shared
+        # with the teardown resources, so it must be cleared, not
+        # replaced.
+        self._drain_futures(self._inflight.values())
+        self._inflight.clear()
+        self._shards = [RRSetPool(self.graph.num_nodes) for _ in self._shards]
+        self._tail_blocks.clear()
+        self._legacy_ordinals.clear()
+        self._legacy_diverged.clear()
+        if self._dsan is not None:
+            self._dsan = DsanRecorder(
+                expected=self._dsan_expected, label=f"engine#{self._engine_id}"
+            )
+        self.backend_invocations = 0
+        if self.rng == "legacy":
+            for sampler, state in zip(
+                self._samplers, self._legacy_initial_states
+            ):
+                sampler.set_legacy_state(state)
+        else:
+            for sampler in self._samplers:
+                sampler.num_sampled = 0
 
     # ------------------------------------------------------------------
     # Sampling
@@ -1005,7 +1090,21 @@ class ShardedSamplingEngine:
         cached = self._tail_blocks.get(ad)
         if cached is not None and cached[0] == chunk_index:
             return cached[1]
+        if self._retain_blocks:
+            return self._block_memo.get((ad, chunk_index))
         return None
+
+    def _retain_block(
+        self, ad: int, chunk_index: int, block, *, copy: bool = False
+    ) -> None:
+        """Memoize a full chunk block for the resident-engine memo (see
+        ``retain_blocks``); ``copy`` when the arrays view a buffer that
+        dies with the caller (cache entry, shm segment)."""
+        if not self._retain_blocks:
+            return
+        if copy:
+            block = (block[0].copy(), block[1].copy())
+        self._block_memo[(ad, chunk_index)] = block
 
     def _store_chunk(self, ad: int, chunk_index: int, block) -> None:
         """Write one freshly computed *full* chunk block through to the
@@ -1039,6 +1138,9 @@ class ShardedSamplingEngine:
                 return False
             if self._dsan is not None:
                 self._dsan.record(ad, chunk_index, entry.members, entry.lengths)
+            self._retain_block(
+                ad, chunk_index, (entry.members, entry.lengths), copy=True
+            )
             bounds = np.zeros(entry.num_sets + 1, dtype=np.int64)
             np.cumsum(entry.lengths, out=bounds[1:])
             self._shards[ad].add_flat_from_buffer(
@@ -1072,6 +1174,7 @@ class ShardedSamplingEngine:
             # chunks), so serial, pickle, shm and tail-cache arrivals of
             # the same chunk hash the same bytes by construction.
             self._dsan.record(ad, chunk_index, block[0], block[1])
+        self._retain_block(ad, chunk_index, block)
         members, lengths = _slice_flat(block[0], block[1], lo, hi)
         self._shards[ad].add_flat(members, lengths)
         self._samplers[ad].num_sampled += hi - lo
@@ -1119,6 +1222,20 @@ class ShardedSamplingEngine:
                 )
                 try:
                     self._store_chunk(ad, chunk_index, (members_view, lengths))
+                finally:
+                    del members_view
+            if self._retain_blocks:
+                # Same zero-copy view discipline: _retain_block copies
+                # out of the segment, the view itself must die before
+                # the finally below closes the mapping.
+                members_view = np.frombuffer(
+                    segment.buf, dtype=MEMBER_DTYPE, count=num_members,
+                    offset=members_offset,
+                )
+                try:
+                    self._retain_block(
+                        ad, chunk_index, (members_view, lengths), copy=True
+                    )
                 finally:
                     del members_view
             self._shards[ad].add_flat_from_buffer(

@@ -1,0 +1,128 @@
+"""Blocking socket client for the allocation service.
+
+One TCP connection per request — the protocol is stateless, so the
+client needs no connection management, reconnection logic, or locking,
+and every socket lives inside a ``with`` block (the R104 service-tier
+hygiene check enforces exactly this shape).  Error payloads from the
+server surface as :class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+
+from repro.errors import ServiceError
+
+#: Default per-request socket timeout (seconds) — generous because a
+#: ``wait`` op legitimately blocks for a whole allocation.
+DEFAULT_TIMEOUT = 600.0
+
+
+def read_port_file(path: str) -> int:
+    """The port a server published via ``--port-file``."""
+    try:
+        with open(path) as handle:
+            return int(handle.read().strip())
+    except (OSError, ValueError) as exc:
+        raise ServiceError(f"cannot read service port from {path}: {exc}") from exc
+
+
+class ServiceClient:
+    """Line-delimited-JSON client for one :class:`AllocationServer`.
+
+    Address either by ``port`` or by ``port_file`` (re-read per request,
+    so a restarted server behind the same file keeps working).
+    """
+
+    def __init__(self, port: int | None = None, *, host: str = "127.0.0.1",
+                 port_file: str | os.PathLike | None = None,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        if port is None and port_file is None:
+            raise ServiceError("ServiceClient needs a port or a port_file")
+        self.host = host
+        self.port = port
+        self.port_file = os.fspath(port_file) if port_file is not None else None
+        self.timeout = timeout
+
+    def _port(self) -> int:
+        if self.port is not None:
+            return int(self.port)
+        return read_port_file(self.port_file)
+
+    def request(self, op: str, **fields) -> dict:
+        """One round-trip: send ``{"op": op, **fields}``, return the
+        response payload (sans the ``ok`` flag), raise on error."""
+        message = json.dumps({"op": op, **fields}).encode() + b"\n"
+        try:
+            with socket.create_connection(
+                (self.host, self._port()), timeout=self.timeout
+            ) as sock:
+                sock.sendall(message)
+                with sock.makefile("rb") as stream:
+                    line = stream.readline()
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self._port()}: {exc}"
+            ) from exc
+        if not line:
+            raise ServiceError("service closed the connection mid-request")
+        response = json.loads(line)
+        if not response.pop("ok", False):
+            raise ServiceError(response.get("error", "service error"))
+        return response
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers, one per op
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def submit(self, dataset: str, *, params: dict | None = None,
+               dataset_kwargs: dict | None = None) -> str:
+        response = self.request(
+            "submit-allocation", dataset=dataset, params=params,
+            dataset_kwargs=dataset_kwargs,
+        )
+        return response["job_id"]
+
+    def progress(self, job_id: str) -> dict:
+        return self.request("query-progress", job_id=job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict:
+        return self.request("wait", job_id=job_id, timeout=timeout)
+
+    def cancel(self, job_id: str, *, wait: bool = False,
+               timeout: float | None = None) -> dict:
+        return self.request("cancel", job_id=job_id, wait=wait, timeout=timeout)
+
+    def reallocate(self, job_id: str, *, update_budgets: dict | None = None,
+                   add_ads: list | None = None,
+                   remove_ads: list | None = None) -> str:
+        response = self.request(
+            "reallocate", job_id=job_id, update_budgets=update_budgets,
+            add_ads=add_ads, remove_ads=remove_ads,
+        )
+        return response["job_id"]
+
+    def estimate_spread(self, dataset: str, *, ad: int, seeds,
+                        num_sets: int = 10_000, params: dict | None = None,
+                        dataset_kwargs: dict | None = None) -> dict:
+        return self.request(
+            "estimate-spread", dataset=dataset, ad=ad, seeds=list(seeds),
+            num_sets=num_sets, params=params, dataset_kwargs=dataset_kwargs,
+        )
+
+    def list_jobs(self) -> list[dict]:
+        return self.request("list-jobs")["jobs"]
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    def __repr__(self) -> str:
+        where = (
+            f"port_file={self.port_file!r}" if self.port is None
+            else f"port={self.port}"
+        )
+        return f"ServiceClient(host={self.host!r}, {where})"

@@ -26,6 +26,11 @@ busy timeout, every write runs in a short implicit transaction, and
 shard registration uses ``INSERT OR REPLACE`` — two processes
 populating the same cache directory serialize cleanly at the SQLite
 layer while their block writes race benignly at the rename layer.
+Within one process the connection is shared across threads (the
+allocation service records finished jobs from worker threads), so it
+opens with ``check_same_thread=False`` and every statement runs under
+one internal lock — cross-thread access serializes here, not in
+sqlite3's error path.
 
 This module is the store's one timestamp seam: ``created_at`` /
 ``last_used_at`` are wall-clock *provenance data* about the cache, not
@@ -38,6 +43,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 import time
 
 from repro.errors import StoreError
@@ -84,6 +90,7 @@ CREATE TABLE IF NOT EXISTS allocations (
     cache_hits    INTEGER,
     cache_misses  INTEGER,
     backend_invocations INTEGER,
+    job_id        TEXT,
     provenance_json TEXT,
     stats_json    TEXT
 );
@@ -122,13 +129,25 @@ class ExperimentCatalog:
         self.directory = os.fspath(directory)
         self.path = os.path.join(self.directory, CATALOG_FILENAME)
         self._conn = None
+        self._lock = threading.RLock()
         try:
-            self._conn = sqlite3.connect(self.path)
+            self._conn = sqlite3.connect(self.path, check_same_thread=False)
             self._conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
             self._conn.execute("PRAGMA journal_mode = WAL")
             self._conn.execute("PRAGMA synchronous = NORMAL")
-            with self._conn:
+            with self._lock, self._conn:
                 self._conn.executescript(_SCHEMA)
+            # Schema migration for catalogs created before the service
+            # tier existed: CREATE TABLE IF NOT EXISTS never *adds*
+            # columns, so older databases need the job_id column bolted
+            # on.  A duplicate-column error means the schema is current.
+            try:
+                with self._lock, self._conn:
+                    self._conn.execute(
+                        "ALTER TABLE allocations ADD COLUMN job_id TEXT"
+                    )
+            except sqlite3.OperationalError:
+                pass
         except sqlite3.Error as exc:
             raise StoreError(
                 f"cannot open experiment catalog at {self.path}: {exc}"
@@ -138,9 +157,10 @@ class ExperimentCatalog:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
 
     def __enter__(self) -> "ExperimentCatalog":
         return self
@@ -157,7 +177,7 @@ class ExperimentCatalog:
         if not rows:
             return
         now = time.time()
-        with self._conn:
+        with self._lock, self._conn:
             self._conn.executemany(
                 "INSERT OR REPLACE INTO shards (shard_key, block_index, ad, "
                 "rng, mode, chunk_size, entropy, graph_hash, num_sets, "
@@ -181,7 +201,7 @@ class ExperimentCatalog:
         if not keys:
             return
         now = time.time()
-        with self._conn:
+        with self._lock, self._conn:
             self._conn.executemany(
                 "UPDATE shards SET last_used_at = ?, uses = uses + 1 "
                 "WHERE shard_key = ? AND block_index = ?",
@@ -190,7 +210,7 @@ class ExperimentCatalog:
 
     def forget_shard(self, shard_key: str, block_index: int) -> None:
         """Drop one shard row (evicted or quarantined entry)."""
-        with self._conn:
+        with self._lock, self._conn:
             self._conn.execute(
                 "DELETE FROM shards WHERE shard_key = ? AND block_index = ?",
                 (shard_key, block_index),
@@ -198,19 +218,21 @@ class ExperimentCatalog:
 
     def list_shards(self) -> list[dict]:
         """Every shard row, LRU-oldest first."""
-        cursor = self._conn.execute(
-            "SELECT shard_key, block_index, ad, rng, mode, chunk_size, "
-            "entropy, graph_hash, num_sets, num_members, nbytes, digest, "
-            "created_at, last_used_at, uses FROM shards "
-            "ORDER BY last_used_at, shard_key, block_index"
-        )
-        columns = [d[0] for d in cursor.description]
-        return [dict(zip(columns, row)) for row in cursor.fetchall()]
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT shard_key, block_index, ad, rng, mode, chunk_size, "
+                "entropy, graph_hash, num_sets, num_members, nbytes, digest, "
+                "created_at, last_used_at, uses FROM shards "
+                "ORDER BY last_used_at, shard_key, block_index"
+            )
+            columns = [d[0] for d in cursor.description]
+            return [dict(zip(columns, row)) for row in cursor.fetchall()]
 
     def total_shard_bytes(self) -> int:
-        row = self._conn.execute(
-            "SELECT COALESCE(SUM(nbytes), 0) FROM shards"
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COALESCE(SUM(nbytes), 0) FROM shards"
+            ).fetchone()
         return int(row[0])
 
     # ------------------------------------------------------------------
@@ -218,14 +240,14 @@ class ExperimentCatalog:
     # ------------------------------------------------------------------
     def record_allocation(self, record: dict) -> int:
         """Insert one allocation row; returns its catalog id."""
-        with self._conn:
+        with self._lock, self._conn:
             cursor = self._conn.execute(
                 "INSERT INTO allocations (created_at, algorithm, dataset, "
                 "seed, rng, chunk_size, engine, backend, transport, "
                 "dsan_root, iterations, total_rr_sets, cache_hits, "
-                "cache_misses, backend_invocations, provenance_json, "
-                "stats_json) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
-                "?, ?, ?, ?)",
+                "cache_misses, backend_invocations, job_id, "
+                "provenance_json, stats_json) VALUES (?, ?, ?, ?, ?, ?, ?, "
+                "?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     time.time(), record.get("algorithm"), record.get("dataset"),
                     record.get("seed"), record.get("rng"),
@@ -235,6 +257,7 @@ class ExperimentCatalog:
                     record.get("total_rr_sets"), record.get("cache_hits"),
                     record.get("cache_misses"),
                     record.get("backend_invocations"),
+                    record.get("job_id"),
                     json.dumps(record.get("provenance", {}), default=str),
                     json.dumps(record.get("stats", {}), default=str),
                 ),
@@ -242,20 +265,22 @@ class ExperimentCatalog:
         return int(cursor.lastrowid)
 
     def list_allocations(self) -> list[dict]:
-        cursor = self._conn.execute(
-            "SELECT id, created_at, algorithm, dataset, seed, rng, "
-            "chunk_size, engine, backend, transport, dsan_root, iterations, "
-            "total_rr_sets, cache_hits, cache_misses, backend_invocations "
-            "FROM allocations ORDER BY id"
-        )
-        columns = [d[0] for d in cursor.description]
-        return [dict(zip(columns, row)) for row in cursor.fetchall()]
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT id, created_at, algorithm, dataset, seed, rng, "
+                "chunk_size, engine, backend, transport, dsan_root, "
+                "iterations, total_rr_sets, cache_hits, cache_misses, "
+                "backend_invocations, job_id FROM allocations ORDER BY id"
+            )
+            columns = [d[0] for d in cursor.description]
+            return [dict(zip(columns, row)) for row in cursor.fetchall()]
 
     def get_allocation(self, allocation_id: int) -> dict | None:
-        cursor = self._conn.execute(
-            "SELECT * FROM allocations WHERE id = ?", (int(allocation_id),)
-        )
-        row = cursor.fetchone()
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT * FROM allocations WHERE id = ?", (int(allocation_id),)
+            )
+            row = cursor.fetchone()
         if row is None:
             return None
         record = dict(zip([d[0] for d in cursor.description], row))
@@ -276,7 +301,7 @@ class ExperimentCatalog:
         each key, so gc must keep them.  Re-registering the same path
         (the artifact is atomically overwritten each boundary) replaces
         the row and its references."""
-        with self._conn:
+        with self._lock, self._conn:
             self._conn.execute(
                 "DELETE FROM checkpoint_shards WHERE checkpoint_id IN "
                 "(SELECT id FROM checkpoints WHERE path = ?)", (path,)
@@ -297,11 +322,13 @@ class ExperimentCatalog:
         return checkpoint_id
 
     def list_checkpoints(self) -> list[dict]:
-        cursor = self._conn.execute(
-            "SELECT id, path, created_at, iterations FROM checkpoints ORDER BY id"
-        )
-        columns = [d[0] for d in cursor.description]
-        return [dict(zip(columns, row)) for row in cursor.fetchall()]
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT id, path, created_at, iterations "
+                "FROM checkpoints ORDER BY id"
+            )
+            columns = [d[0] for d in cursor.description]
+            return [dict(zip(columns, row)) for row in cursor.fetchall()]
 
     def protected_shards(self, *, live_paths_only: bool = True) -> dict[str, int]:
         """``shard_key -> max protected block index`` over checkpoints.
@@ -316,7 +343,7 @@ class ExperimentCatalog:
                 if not os.path.exists(row["path"])
             ]
             if dead:
-                with self._conn:
+                with self._lock, self._conn:
                     marks = ",".join("?" for _ in dead)
                     self._conn.execute(
                         f"DELETE FROM checkpoint_shards WHERE checkpoint_id IN ({marks})",
@@ -326,10 +353,12 @@ class ExperimentCatalog:
                         f"DELETE FROM checkpoints WHERE id IN ({marks})", dead
                     )
         protected: dict[str, int] = {}
-        for key, max_index in self._conn.execute(
-            "SELECT shard_key, MAX(max_index) FROM checkpoint_shards "
-            "GROUP BY shard_key"
-        ):
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT shard_key, MAX(max_index) FROM checkpoint_shards "
+                "GROUP BY shard_key"
+            ).fetchall()
+        for key, max_index in rows:
             protected[key] = int(max_index)
         return protected
 
@@ -342,7 +371,7 @@ class ExperimentCatalog:
         if not rows:
             return
         now = time.time()
-        with self._conn:
+        with self._lock, self._conn:
             self._conn.executemany(
                 "INSERT INTO benchmarks (created_at, phase, variant, n, ads, "
                 "theta, wall_s, speedup, report) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
@@ -357,9 +386,10 @@ class ExperimentCatalog:
             )
 
     def list_benchmarks(self) -> list[dict]:
-        cursor = self._conn.execute(
-            "SELECT id, created_at, phase, variant, n, ads, theta, wall_s, "
-            "speedup, report FROM benchmarks ORDER BY id"
-        )
-        columns = [d[0] for d in cursor.description]
-        return [dict(zip(columns, row)) for row in cursor.fetchall()]
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT id, created_at, phase, variant, n, ads, theta, "
+                "wall_s, speedup, report FROM benchmarks ORDER BY id"
+            )
+            columns = [d[0] for d in cursor.description]
+            return [dict(zip(columns, row)) for row in cursor.fetchall()]

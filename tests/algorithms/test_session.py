@@ -1,0 +1,209 @@
+"""AllocationSession: the TIRM loop as an externally driven machine.
+
+The batch facade's equivalence is covered by tests/rrset/test_equivalence;
+here the *session* semantics are on trial: state progression, progress
+snapshots, boundary cancellation, terminal absorption, error capture,
+and the injected-engine contract (never closed, must start empty).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.attention import AttentionBounds
+from repro.advertising.catalog import AdCatalog
+from repro.advertising.problem import AdAllocationProblem
+from repro.algorithms.session import (
+    CANCELLED,
+    DONE,
+    ESTIMATE_THETA,
+    FAILED,
+    GROW,
+    PILOT,
+    SELECT,
+    TERMINAL_STATES,
+    AllocationSession,
+)
+from repro.algorithms.tirm import TIRMAllocator
+from repro.errors import SessionError
+from repro.graph.generators import erdos_renyi
+from repro.graph.probabilities import constant_probabilities
+
+
+def _problem(seed: int = 0, num_ads: int = 3, budget: float = 6.0):
+    graph = erdos_renyi(60, 0.05, seed=seed)
+    catalog = AdCatalog(
+        [Advertiser(name=f"a{i}", budget=budget, cpe=1.0) for i in range(num_ads)]
+    )
+    return AdAllocationProblem(
+        graph,
+        catalog,
+        constant_probabilities(graph, 0.08),
+        0.4,
+        AttentionBounds.uniform(graph.num_nodes, num_ads),
+    )
+
+
+def _allocator(**kwargs):
+    kwargs.setdefault("seed", 0)
+    kwargs.setdefault("max_rr_sets_per_ad", 1_000)
+    return TIRMAllocator(**kwargs)
+
+
+def _session(problem, allocator, **kwargs):
+    engine = allocator._build_engine(problem, None, None)
+    return engine, AllocationSession(problem, allocator, engine=engine, **kwargs)
+
+
+class TestStateMachine:
+    def test_progression_pilot_theta_select(self):
+        problem = _problem()
+        engine, session = _session(problem, _allocator())
+        with engine:
+            assert session.state == PILOT
+            session.step()
+            assert session.state == ESTIMATE_THETA
+            assert engine.total_sets() > 0
+            session.step()
+            assert session.state == SELECT
+            while session.state not in TERMINAL_STATES:
+                assert session.state in (SELECT, GROW)
+                session.step()
+            assert session.state == DONE
+
+    def test_run_matches_batch_facade(self):
+        problem = _problem()
+        batch = _allocator(dsan=True).allocate(problem)
+        allocator = _allocator(dsan=True)
+        engine, session = _session(problem, allocator)
+        with engine:
+            result = session.run()
+        assert result.allocation == batch.allocation
+        assert result.stats["dsan_root"] == batch.stats["dsan_root"]
+        assert np.array_equal(result.estimated_revenues, batch.estimated_revenues)
+        assert result.stats["theta_per_ad"] == batch.stats["theta_per_ad"]
+
+    def test_terminal_states_are_absorbing(self):
+        problem = _problem()
+        engine, session = _session(problem, _allocator())
+        with engine:
+            result = session.run()
+            iterations = session.iterations
+            snapshot = session.step()  # no-op
+            assert session.state == DONE
+            assert session.iterations == iterations
+            assert snapshot["state"] == DONE
+            assert session.result() is result
+
+    def test_session_never_closes_the_engine(self):
+        problem = _problem()
+        engine, session = _session(problem, _allocator())
+        with engine:
+            session.run()
+            assert engine._finalizer.alive  # still usable after the run
+
+    def test_step_snapshots_carry_progress(self):
+        problem = _problem()
+        engine, session = _session(problem, _allocator())
+        with engine:
+            first = session.step()
+            assert first["state"] == ESTIMATE_THETA
+            assert first["total_seeds"] == 0
+            # Once per-ad state exists the snapshot is checkpoint-shaped.
+            second = session.step()
+            for key in ("theta", "seeds", "revenue", "active", "config"):
+                assert key in second, key
+            final = session.run()
+            stats = final.stats
+            assert stats["iterations"] == session.iterations > 0
+
+
+class TestCancellation:
+    def test_cancel_before_loop_returns_empty_truncated(self):
+        problem = _problem()
+        engine, session = _session(problem, _allocator())
+        with engine:
+            session.request_cancel()
+            result = session.run()
+        assert session.state == CANCELLED
+        assert result.stats["truncated"] is True
+        assert result.allocation.total_seeds() == 0
+
+    def test_cancel_mid_grow_matches_max_iterations_truncation(self):
+        """Cancel requested while the machine sits in GROW lands at the
+        post-growth boundary — byte-identical to a batch run truncated
+        by ``max_iterations`` at the same iteration count."""
+        problem = _problem()
+        allocator = _allocator()
+        engine, session = _session(problem, allocator)
+        with engine:
+            while session.state != GROW:
+                session.step()
+                assert session.state not in TERMINAL_STATES, (
+                    "fixture never grew; enlarge the problem"
+                )
+            k = session.iterations
+            session.request_cancel()
+            result = session.run()
+        assert session.state == CANCELLED
+        assert result.stats["truncated"] is True
+        assert result.stats["iterations"] == k
+        batch = _allocator(max_iterations=k).allocate(problem)
+        assert result.allocation == batch.allocation
+        assert np.array_equal(
+            result.estimated_revenues, batch.estimated_revenues
+        )
+
+    def test_cancel_helper_drives_to_terminal(self):
+        problem = _problem()
+        engine, session = _session(problem, _allocator())
+        with engine:
+            session.step()
+            result = session.cancel()
+        assert session.state == CANCELLED
+        assert result.stats["truncated"] is True
+
+
+class TestErrors:
+    def test_requires_matching_engine_shape(self):
+        problem = _problem(num_ads=3)
+        other = _problem(num_ads=2)
+        allocator = _allocator()
+        engine = allocator._build_engine(other, None, None)
+        with engine:
+            with pytest.raises(SessionError, match="shards"):
+                AllocationSession(problem, allocator, engine=engine)
+
+    def test_requires_empty_engine_when_fresh(self):
+        problem = _problem()
+        allocator = _allocator()
+        engine = allocator._build_engine(problem, None, None)
+        with engine:
+            engine.ensure({0: 32})
+            with pytest.raises(SessionError, match="reset_for_reuse"):
+                AllocationSession(problem, allocator, engine=engine)
+
+    def test_result_before_terminal_raises(self):
+        problem = _problem()
+        engine, session = _session(problem, _allocator())
+        with engine:
+            with pytest.raises(SessionError, match="no result"):
+                session.result()
+
+    def test_step_failure_lands_in_failed_state(self):
+        class Exploding(TIRMAllocator):
+            def _rebuild_heap(self, problem, ad, state):
+                raise ValueError("boom")
+
+        problem = _problem()
+        allocator = Exploding(seed=0, max_rr_sets_per_ad=1_000)
+        engine, session = _session(problem, allocator)
+        with engine:
+            with pytest.raises(ValueError, match="boom"):
+                session.run()
+        assert session.state == FAILED
+        assert session.error is not None
+        with pytest.raises(SessionError, match="failed"):
+            session.result()

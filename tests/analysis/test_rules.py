@@ -121,7 +121,12 @@ def test_default_config_matches_contract_seams():
     assert cfg.is_rng_seam("repro/rrset/backends/base.py")
     assert not cfg.is_rng_seam("repro/diffusion/spread.py")
     assert cfg.is_seed_source_seam("repro/utils/rng.py")
+    assert cfg.is_seed_source_seam("repro/store/catalog.py")
+    assert cfg.is_seed_source_seam("repro/service/jobs.py")
     assert not cfg.is_seed_source_seam("repro/rrset/sampler.py")
+    assert cfg.is_service("repro/service/server.py")
+    assert cfg.is_service("repro/service/pool.py")
+    assert not cfg.is_service("repro/store/catalog.py")
     assert cfg.is_hot_path("repro/rrset/pool.py")
     assert cfg.is_hot_path("repro/rrset/backends/numba_backend.py")
     assert cfg.is_hot_path("repro/algorithms/tirm.py")
@@ -358,6 +363,126 @@ def test_r104_bare_open_outside_storage_tier_not_flagged(tmp_path):
         "    return handle.read(64)\n",
     )
     assert "R104" not in _codes(lint_file(path))
+
+
+# ----------------------------------------------------------------------
+# R104 — service-tier network-resource hygiene
+# ----------------------------------------------------------------------
+LEAKY_SOCKET = (
+    "import socket\n"
+    "\n"
+    "def ask(port, message):\n"
+    "    sock = socket.create_connection(('127.0.0.1', port))\n"
+    "    sock.sendall(message)\n"
+    "    return sock.recv(64)\n"
+)
+
+
+def test_r104_leaky_socket_in_service_tier_flagged(tmp_path):
+    path = _write(tmp_path, "repro/service/leaky_client.py", LEAKY_SOCKET)
+    findings = [f for f in lint_file(path) if f.code == "R104"]
+    assert len(findings) == 1
+    assert "socket" in findings[0].message
+    assert "close" in findings[0].message
+
+
+def test_r104_leaky_socket_outside_service_tier_not_flagged(tmp_path):
+    path = _write(tmp_path, "repro/evaluation/probe.py", LEAKY_SOCKET)
+    assert "R104" not in _codes(lint_file(path))
+
+
+def test_r104_with_managed_socket_is_clean(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/service/tidy_client.py",
+        "import socket\n"
+        "\n"
+        "def ask(port, message):\n"
+        "    with socket.create_connection(('127.0.0.1', port)) as sock:\n"
+        "        sock.sendall(message)\n"
+        "        return sock.recv(64)\n",
+    )
+    assert "R104" not in _codes(lint_file(path))
+
+
+def test_r104_finally_closed_socket_is_clean(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/service/finally_client.py",
+        "import socket\n"
+        "\n"
+        "def ask(port, message):\n"
+        "    sock = socket.create_connection(('127.0.0.1', port))\n"
+        "    try:\n"
+        "        sock.sendall(message)\n"
+        "        return sock.recv(64)\n"
+        "    finally:\n"
+        "        sock.close()\n",
+    )
+    assert "R104" not in _codes(lint_file(path))
+
+
+def test_r104_success_only_close_flags_missing_error_path(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/service/halfway_client.py",
+        "import socket\n"
+        "\n"
+        "def ask(port, message):\n"
+        "    sock = socket.create_connection(('127.0.0.1', port))\n"
+        "    sock.sendall(message)\n"
+        "    reply = sock.recv(64)\n"
+        "    sock.close()\n"
+        "    return reply\n",
+    )
+    findings = [f for f in lint_file(path) if f.code == "R104"]
+    assert len(findings) == 1
+    assert "error path" in findings[0].message
+
+
+def test_r104_unclosed_asyncio_server_flagged(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/service/leaky_server.py",
+        "import asyncio\n"
+        "\n"
+        "async def run(handler):\n"
+        "    server = await asyncio.start_server(handler, 'localhost', 0)\n"
+        "    await asyncio.sleep(3600)\n",
+    )
+    findings = [f for f in lint_file(path) if f.code == "R104"]
+    assert len(findings) == 1
+    assert "asyncio server" in findings[0].message
+
+
+def test_r104_wait_closed_counts_as_close(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/service/tidy_server.py",
+        "import asyncio\n"
+        "\n"
+        "async def run(handler):\n"
+        "    server = await asyncio.start_server(handler, 'localhost', 0)\n"
+        "    try:\n"
+        "        await asyncio.sleep(3600)\n"
+        "    finally:\n"
+        "        server.close()\n"
+        "        await server.wait_closed()\n",
+    )
+    assert "R104" not in _codes(lint_file(path))
+
+
+def test_r102_service_jobs_is_a_sanctioned_timestamp_seam(tmp_path):
+    source = (
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    )
+    seam = _write(tmp_path, "repro/service/jobs.py", source)
+    assert "R102" not in _codes(lint_file(seam))
+    elsewhere = _write(tmp_path, "repro/service/pool_clock.py", source)
+    assert "R102" in _codes(lint_file(elsewhere))
 
 
 # ----------------------------------------------------------------------

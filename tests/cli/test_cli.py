@@ -423,3 +423,63 @@ def test_allocate_cache_env_var(tmp_path, capsys, monkeypatch):
     assert "cache:" in capsys.readouterr().out
     assert main(["ls"]) == 0
     assert "Recorded allocations" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Service commands (parser-level; the live protocol is covered by
+# tests/service/test_server_smoke.py)
+# ----------------------------------------------------------------------
+def test_parser_serve_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.command == "serve"
+    assert args.host == "127.0.0.1"
+    assert args.port == 0
+    assert args.port_file is None
+    assert args.cache is None
+
+
+def test_parser_serve_flags(tmp_path):
+    args = build_parser().parse_args([
+        "serve", "--host", "0.0.0.0", "--port", "4242",
+        "--port-file", str(tmp_path / "port"), "--cache", str(tmp_path),
+    ])
+    assert args.port == 4242
+    assert args.host == "0.0.0.0"
+
+
+def test_parser_submit_flags():
+    args = build_parser().parse_args([
+        "submit", "flixster", "--port", "4242", "--scale", "0.002",
+        "--seed", "7", "--max-rr-sets", "1000", "--dsan", "--wait",
+    ])
+    assert args.command == "submit"
+    assert args.dataset == "flixster"
+    assert args.seed == 7
+    assert args.dsan is True
+    assert args.wait is True
+
+
+def test_parser_submit_rejects_unknown_dataset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["submit", "nonsense", "--port", "1"])
+
+
+def test_parser_progress_cancel_jobs():
+    args = build_parser().parse_args(["progress", "job-0001", "--port", "9"])
+    assert args.command == "progress"
+    assert args.job_id == "job-0001"
+    args = build_parser().parse_args(
+        ["cancel", "job-0002", "--port", "9", "--wait"]
+    )
+    assert args.command == "cancel"
+    assert args.wait is True
+    args = build_parser().parse_args(["jobs", "--port", "9"])
+    assert args.command == "jobs"
+
+
+def test_submit_without_server_fails_cleanly(tmp_path, capsys):
+    code = main([
+        "submit", "figure1", "--port-file", str(tmp_path / "absent"),
+    ])
+    assert code == 2
+    assert "cannot read service port" in capsys.readouterr().err

@@ -282,3 +282,110 @@ class TestLifecycle:
         assert engine._resources["executor"] is None
         assert engine._engine_id not in sharded_module._FORK_PAYLOADS
         engine.close()  # still idempotent after the failure path
+
+
+class TestResetForReuse:
+    """The warm-reuse contract: after ``reset_for_reuse`` a second run
+    through the same engine is byte-identical to a fresh-engine run —
+    no stale shards, tail blocks, in-flight futures, dsan state, or
+    legacy stream positions may survive into the next session."""
+
+    def test_back_to_back_sampling_matches_fresh_engine(self):
+        problem = _problem(11)
+        reused = ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=5, chunk_size=16, dsan=True,
+        )
+        with reused:
+            reused.sample({0: 40, 1: 25, 2: 33})  # dirty run, odd tails
+            reused.reset_for_reuse()
+            assert reused.total_sets() == 0
+            assert reused.backend_invocations == 0
+            reused.sample({0: 50, 1: 20, 2: 10})
+            with ShardedSamplingEngine(
+                problem.graph, _probs(problem), seeds=5, chunk_size=16,
+                dsan=True,
+            ) as fresh:
+                fresh.sample({0: 50, 1: 20, 2: 10})
+                _assert_shards_equal(reused, fresh)
+                assert reused.dsan_digests() == fresh.dsan_digests()
+                assert reused.dsan_root() == fresh.dsan_root()
+
+    def test_back_to_back_allocations_match_fresh_engine(self):
+        from repro.algorithms.session import AllocationSession
+
+        problem = _problem(7)
+        allocator = TIRMAllocator(seed=3, max_rr_sets_per_ad=1_000, dsan=True)
+        fresh = allocator.allocate(problem)
+        engine = allocator._build_engine(problem, None, None)
+        with engine:
+            first = AllocationSession(problem, allocator, engine=engine).run()
+            engine.reset_for_reuse()
+            second = AllocationSession(problem, allocator, engine=engine).run()
+        for result in (first, second):
+            assert result.allocation == fresh.allocation
+            assert result.stats["dsan_root"] == fresh.stats["dsan_root"]
+            assert result.stats["theta_per_ad"] == fresh.stats["theta_per_ad"]
+
+    def test_retained_blocks_serve_the_second_run(self):
+        """``retain_blocks=True``: after a reset the block memo answers
+        every previously sampled chunk, so a warm rerun performs zero
+        sampling-backend invocations yet fills identical shards."""
+        problem = _problem(13)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=2, chunk_size=16,
+            retain_blocks=True,
+        ) as engine:
+            engine.sample({0: 64, 1: 48, 2: 32})
+            cold_invocations = engine.backend_invocations
+            assert cold_invocations > 0
+            coverage = [engine.shard(ad).coverage().copy() for ad in range(3)]
+            engine.reset_for_reuse()
+            engine.sample({0: 64, 1: 48, 2: 32})
+            assert engine.backend_invocations == 0
+            for ad in range(3):
+                assert np.array_equal(engine.shard(ad).coverage(), coverage[ad])
+
+    def test_legacy_streams_rewind_to_initial_state(self):
+        problem = _problem(17)
+        seeds = spawn_generators(9, problem.num_ads)
+        with ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=seeds, rng="legacy",
+        ) as reused:
+            reused.sample({0: 30, 1: 12, 2: 21})
+            reused.reset_for_reuse()
+            reused.sample({0: 25, 1: 18, 2: 7})
+            with ShardedSamplingEngine(
+                problem.graph, _probs(problem),
+                seeds=spawn_generators(9, problem.num_ads), rng="legacy",
+            ) as fresh:
+                fresh.sample({0: 25, 1: 18, 2: 7})
+                _assert_shards_equal(reused, fresh)
+
+    def test_reset_keeps_process_pool_and_arena_warm(self):
+        problem = _problem(19)
+        engine = ShardedSamplingEngine(
+            problem.graph, _probs(problem), seeds=4, engine="process",
+            chunk_size=16, max_workers=2,
+        )
+        if not engine._fork_available():  # pragma: no cover - platform guard
+            engine.close()
+            pytest.skip("fork start method unavailable")
+        with engine:
+            engine.sample({0: 40, 1: 40, 2: 40})
+            executor = engine._resources["executor"]
+            assert executor is not None
+            engine.reset_for_reuse()
+            assert engine._resources["executor"] is executor  # still warm
+            engine.sample({0: 20, 1: 20, 2: 20})
+            with ShardedSamplingEngine(
+                problem.graph, _probs(problem), seeds=4, chunk_size=16,
+            ) as fresh:
+                fresh.sample({0: 20, 1: 20, 2: 20})
+                _assert_shards_equal(engine, fresh)
+
+    def test_reset_of_closed_engine_is_refused(self):
+        problem = _problem(0)
+        engine = ShardedSamplingEngine(problem.graph, _probs(problem), seeds=1)
+        engine.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            engine.reset_for_reuse()

@@ -1,0 +1,312 @@
+"""EnginePool + JobManager: warm reuse, concurrency, incremental jobs.
+
+The service's whole promise is *substrate, never contract*: whichever
+engine a job leases — cold, warm, shared with N concurrent clients, or
+re-leased for an incremental re-allocation — the allocation bytes must
+equal a cold batch run of the same instance (equal dsan roots), with
+the warm paths merely skipping sampling-backend invocations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.attention import AttentionBounds
+from repro.advertising.catalog import AdCatalog
+from repro.advertising.problem import AdAllocationProblem
+from repro.algorithms.tirm import TIRMAllocator
+from repro.errors import ServiceError
+from repro.graph.generators import erdos_renyi
+from repro.graph.probabilities import constant_probabilities
+from repro.service.jobs import JobManager, build_allocator, modified_problem
+from repro.service.pool import EnginePool
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_cache(monkeypatch):
+    """``cache=None`` must mean "no cache" here, not the env default."""
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+
+
+def _problem(seed: int = 0, num_ads: int = 3, budget: float = 6.0):
+    graph = erdos_renyi(60, 0.05, seed=seed)
+    catalog = AdCatalog(
+        [Advertiser(name=f"a{i}", budget=budget, cpe=1.0) for i in range(num_ads)]
+    )
+    return AdAllocationProblem(
+        graph,
+        catalog,
+        constant_probabilities(graph, 0.08),
+        0.4,
+        AttentionBounds.uniform(graph.num_nodes, num_ads),
+    )
+
+
+PARAMS = {"seed": 0, "max_rr_sets_per_ad": 1_000, "dsan": True}
+
+
+def _assert_same_result(result, batch):
+    assert result.allocation == batch.allocation
+    assert result.stats["dsan_root"] == batch.stats["dsan_root"]
+    assert np.array_equal(result.estimated_revenues, batch.estimated_revenues)
+
+
+class TestEnginePool:
+    def test_cold_then_warm_lease(self):
+        problem = _problem()
+        allocator = build_allocator(PARAMS, dataset=None)
+        with EnginePool() as pool:
+            lease = pool.lease(problem, allocator)
+            assert not lease.warm
+            engine = lease.engine
+            engine.ensure({0: 32})  # dirty it
+            lease.release()
+            second = pool.lease(problem, allocator)
+            assert second.warm
+            assert second.engine is engine
+            assert second.engine.total_sets() == 0  # reset on lease
+            second.release()
+            assert pool.stats() == {
+                "warm_leases": 1, "cold_builds": 1,
+                "idle_engines": 1, "idle_keys": 1,
+            }
+
+    def test_leases_are_exclusive(self):
+        problem = _problem()
+        allocator = build_allocator(PARAMS, dataset=None)
+        with EnginePool() as pool:
+            first = pool.lease(problem, allocator)
+            second = pool.lease(problem, allocator)  # builds, never shares
+            assert first.engine is not second.engine
+            first.release()
+            second.release()
+
+    def test_key_covers_contract_and_content(self):
+        problem = _problem()
+        base = build_allocator(PARAMS, dataset=None)
+        assert EnginePool.lease_key(problem, base) == EnginePool.lease_key(
+            problem, build_allocator(PARAMS, dataset=None)
+        )
+        for change in (
+            {"seed": 1},
+            {"chunk_size": 64},
+            {"rng": "legacy"},
+            {"sampler_mode": "scalar"},
+        ):
+            other = build_allocator({**PARAMS, **change}, dataset=None)
+            assert EnginePool.lease_key(problem, other) != EnginePool.lease_key(
+                problem, base
+            )
+        # Different problem content → different key.
+        assert EnginePool.lease_key(_problem(5), base) != EnginePool.lease_key(
+            problem, base
+        )
+
+    def test_generator_seeds_are_not_poolable(self):
+        problem = _problem()
+        allocator = TIRMAllocator(seed=np.random.default_rng(0))
+        assert EnginePool.lease_key(problem, allocator) is None
+        with EnginePool() as pool:
+            lease = pool.lease(problem, allocator)
+            assert not lease.warm
+            engine = lease.engine
+            lease.release()  # closed, never pooled
+            assert pool.stats()["idle_engines"] == 0
+            assert not engine._finalizer.alive
+
+    def test_closed_pool_closes_released_engines(self):
+        problem = _problem()
+        allocator = build_allocator(PARAMS, dataset=None)
+        pool = EnginePool()
+        lease = pool.lease(problem, allocator)
+        pool.close()
+        lease.release()
+        assert not lease.engine._finalizer.alive
+        with pytest.raises(ServiceError, match="closed"):
+            pool.lease(problem, allocator)
+
+
+class TestJobManager:
+    def test_warm_resubmit_is_byte_identical_with_zero_invocations(self):
+        problem = _problem()
+        batch = TIRMAllocator(**PARAMS).allocate(problem)
+        with JobManager(cache=None) as manager:
+            cold = manager.submit(problem=problem, params=PARAMS)
+            first = manager.result(cold.job_id)
+            warm = manager.submit(problem=problem, params=PARAMS)
+            second = manager.result(warm.job_id)
+        assert cold.engine_warm is False
+        assert warm.engine_warm is True
+        _assert_same_result(first, batch)
+        _assert_same_result(second, batch)
+        assert first.stats["backend_invocations"] > 0
+        assert second.stats["backend_invocations"] == 0
+
+    def test_concurrent_clients_match_serial_batch(self):
+        """N clients hammering one pool — every result byte-identical
+        (equal dsan roots) to the serial batch allocation."""
+        problem = _problem()
+        batch = TIRMAllocator(**PARAMS).allocate(problem)
+        with JobManager(cache=None) as manager:
+            jobs = [
+                manager.submit(problem=problem, params=PARAMS)
+                for _ in range(4)
+            ]
+            results = [manager.result(job.job_id) for job in jobs]
+        for result in results:
+            _assert_same_result(result, batch)
+
+    def test_cancel_returns_valid_truncated_partial(self):
+        problem = _problem()
+        with JobManager(cache=None) as manager:
+            job = manager.submit(problem=problem, params=PARAMS)
+            manager.cancel(job.job_id, wait=True, timeout=60)
+            assert job.state in ("cancelled", "done")  # raced completion
+            result = job.result
+            assert result is not None
+            assert result.allocation.total_seeds() == result.stats["iterations"]
+            if job.state == "cancelled":
+                assert result.stats["truncated"] is True
+
+    def test_progress_and_list_jobs(self):
+        problem = _problem()
+        with JobManager(cache=None) as manager:
+            job = manager.submit(problem=problem, params=PARAMS)
+            manager.wait(job.job_id, timeout=60)
+            record = manager.progress(job.job_id)
+            assert record["state"] == "done"
+            assert record["iterations"] > 0
+            assert record["snapshot"]["theta"] == job.result.stats["theta_per_ad"]
+            rows = manager.list_jobs()
+            assert [row["job_id"] for row in rows] == [job.job_id]
+            assert rows[0]["catalog_id"] is None  # no cache configured
+            with pytest.raises(ServiceError, match="unknown job"):
+                manager.progress("job-9999")
+
+    def test_failed_job_surfaces_error(self, monkeypatch):
+        problem = _problem()
+        with JobManager(cache=None) as manager:
+            with pytest.raises(ServiceError, match="unknown allocator"):
+                manager.submit(problem=problem, params={"bogus_knob": 1})
+            with pytest.raises(ServiceError, match="dataset name or a problem"):
+                manager.submit()
+
+            def boom(problem, allocator):
+                raise ValueError("lease exploded")
+
+            monkeypatch.setattr(manager.pool, "lease", boom)
+            job = manager.submit(problem=problem, params=PARAMS)
+            job.done.wait(60)
+            assert job.state == "failed"
+            summary = job.summary()
+            assert summary["state"] == "failed"
+            assert "lease exploded" in summary["error"]
+            with pytest.raises(ServiceError, match="failed"):
+                manager.result(job.job_id)
+            with pytest.raises(ServiceError, match="failed"):
+                manager.reallocate(job.job_id, update_budgets={0: 9.0})
+
+    def test_restart_over_cache_dir_serves_warm_runs(self, tmp_path):
+        """A killed-and-restarted service over the same --cache dir
+        serves reruns from the shard store: zero backend invocations in
+        the fresh process, byte-identical allocation, and catalog rows
+        carrying the job ids of both lives."""
+        problem = _problem()
+        batch = TIRMAllocator(**PARAMS).allocate(problem)
+        cache_dir = str(tmp_path / "store")
+        with JobManager(cache=cache_dir) as first_life:
+            job1 = first_life.submit(problem=problem, params=PARAMS)
+            result1 = first_life.result(job1.job_id)
+        assert result1.stats["backend_invocations"] > 0
+        with JobManager(cache=cache_dir) as second_life:
+            job2 = second_life.submit(problem=problem, params=PARAMS)
+            result2 = second_life.result(job2.job_id)
+            rows = second_life.cache.catalog.list_allocations()
+        assert job2.engine_warm is False  # fresh process, cold engine...
+        assert result2.stats["backend_invocations"] == 0  # ...warm store
+        _assert_same_result(result2, batch)
+        assert [row["job_id"] for row in rows] == ["job-0001", "job-0001"]
+        assert all(row["dsan_root"] == batch.stats["dsan_root"] for row in rows)
+
+
+class TestReallocate:
+    def test_budget_update_releases_warm_engine_and_matches_cold(self):
+        problem = _problem()
+        new_budget = float(problem.catalog[0].budget * 1.5)
+        with JobManager(cache=None) as manager:
+            job = manager.submit(problem=problem, params=PARAMS)
+            manager.wait(job.job_id, timeout=60)
+            retry = manager.reallocate(
+                job.job_id, update_budgets={"0": new_budget}
+            )
+            result = manager.result(retry.job_id)
+        assert retry.source_job_id == job.job_id
+        assert retry.engine_warm is True
+        modified = modified_problem(problem, update_budgets={0: new_budget})
+        cold = TIRMAllocator(**PARAMS).allocate(modified)
+        _assert_same_result(result, cold)
+        # Backend runs only for θ ranges grown past the source job's —
+        # the retained blocks serve everything sampled before.
+        assert result.stats["backend_invocations"] <= cold.stats[
+            "backend_invocations"
+        ]
+
+    def test_add_and_remove_ads_rebuild_the_instance(self):
+        problem = _problem()
+        with JobManager(cache=None) as manager:
+            job = manager.submit(problem=problem, params=PARAMS)
+            manager.wait(job.job_id, timeout=60)
+            grown = manager.reallocate(
+                job.job_id,
+                add_ads=[{"name": "a9", "budget": 4.0, "cpe": 1.0, "like": 0}],
+            )
+            grown_result = manager.result(grown.job_id)
+            shrunk = manager.reallocate(job.job_id, remove_ads=[1])
+            shrunk_result = manager.result(shrunk.job_id)
+        assert grown.problem.num_ads == problem.num_ads + 1
+        assert shrunk.problem.num_ads == problem.num_ads - 1
+        cold_grown = TIRMAllocator(**PARAMS).allocate(grown.problem)
+        cold_shrunk = TIRMAllocator(**PARAMS).allocate(shrunk.problem)
+        _assert_same_result(grown_result, cold_grown)
+        _assert_same_result(shrunk_result, cold_shrunk)
+
+    def test_reallocate_validation(self):
+        problem = _problem()
+        with JobManager(cache=None) as manager:
+            job = manager.submit(problem=problem, params=PARAMS)
+            manager.wait(job.job_id, timeout=60)
+            with pytest.raises(ServiceError, match="needs"):
+                manager.reallocate(job.job_id)
+            with pytest.raises(ServiceError, match="no ad"):
+                manager.reallocate(job.job_id, update_budgets={7: 1.0})
+            with pytest.raises(ServiceError, match="empty catalog"):
+                manager.reallocate(job.job_id, remove_ads=[0, 1, 2])
+            with pytest.raises(ServiceError, match="unknown job"):
+                manager.reallocate("job-9999", remove_ads=[0])
+
+
+class TestEstimateSpread:
+    def test_estimates_through_the_pool(self):
+        from repro.rrset.estimator import estimate_spread_from_sets
+
+        problem = _problem()
+        with JobManager(cache=None) as manager:
+            job = manager.submit(problem=problem, params=PARAMS)
+            result = manager.result(job.job_id)
+            seeds = [int(v) for v in result.allocation.seed_array(0)]
+            estimate = manager.estimate_spread(
+                problem=problem, ad=0, seeds=seeds, num_sets=512,
+                params=PARAMS,
+            )
+        assert estimate["engine_warm"] is True
+        assert estimate["num_sets"] == 512
+        # Reference: the same estimator over a fresh engine's sets.
+        allocator = TIRMAllocator(**PARAMS)
+        with allocator._build_engine(problem, None, None) as engine:
+            engine.ensure({0: 512})
+            expected = estimate_spread_from_sets(
+                engine.shard(0), problem.num_nodes, seeds
+            )
+        assert estimate["spread"] == pytest.approx(expected)
