@@ -521,6 +521,21 @@ class AllocationSession:
         cache_stats = engine.cache_stats()
         if cache_stats is not None:
             stats["cache"] = cache_stats
+        # Distributed runs record their topology — worker fleet, retry/
+        # timeout/corrupt counters, local fallbacks — as provenance.
+        # Topology is provenance, not contract: nothing in this record
+        # can change a byte of the allocation, which is exactly why it
+        # is recorded instead of matched.
+        if hasattr(engine, "dist_stats"):
+            dist = engine.dist_stats()
+            stats["dist"] = dist
+            allocation.set_provenance(dist={
+                key: dist.get(key)
+                for key in (
+                    "tasks_completed", "retries", "timeouts", "disconnects",
+                    "corrupt_blocks", "workers_connected", "local_fallbacks",
+                )
+            })
         if engine.dsan:
             # Digest maps key on (ad, chunk) tuples; stats serialize to
             # JSON in the CLI, so the keys flatten to "ad:chunk" strings.

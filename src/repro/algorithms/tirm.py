@@ -69,6 +69,12 @@ from repro.rrset.tim import greedy_max_coverage, required_rr_sets
 from repro.utils.rng import spawn_generators
 from repro.utils.timing import Timer
 
+#: Engine substrates the allocator accepts: the sharded engine's
+#: in-process modes plus the distributed coordinator/worker tier
+#: (:mod:`repro.dist`).  All byte-identical for the same
+#: ``(seed, chunk_size)``.
+ALLOCATOR_ENGINE_MODES = ENGINE_MODES + ("dist",)
+
 
 class TIRMAllocator(Allocator):
     """Algorithm 2 with the Algorithm-3 selector and Algorithm-4 updates.
@@ -95,7 +101,16 @@ class TIRMAllocator(Allocator):
         a fork-based process pool.  The two produce identical
         allocations for the same ``(seed, chunk_size)``: every chunk of
         RR sets is a pure function of its ``(seed, ad, set_index)``
-        address (``rng="philox"``).
+        address (``rng="philox"``).  ``"dist"`` scatters the same chunk
+        tasks to remote socket workers through a
+        :class:`~repro.dist.Coordinator` (pass ``coordinator=``) —
+        byte-identical again: topology is provenance, not contract.
+    coordinator:
+        Required with ``engine="dist"``: a started
+        :class:`~repro.dist.Coordinator` (borrowed — the caller owns
+        its lifetime) or a spec dict (``{"host": ..., "port": ...}``)
+        from which each engine builds a coordinator it owns.  Rejected
+        for in-process engines.
     rng:
         ``"philox"`` (default): counter-based streams — every RR set is
         addressed by ``(seed, ad, set_index)``, sampling parallelizes
@@ -215,6 +230,7 @@ class TIRMAllocator(Allocator):
         select_rule: str = "weighted",
         sampler_mode: str = "blocked",
         engine: str = "serial",
+        coordinator=None,
         rng: str = "philox",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         backend="numpy",
@@ -246,12 +262,28 @@ class TIRMAllocator(Allocator):
             raise ConfigurationError(
                 f"sampler_mode must be 'blocked' or 'scalar', got {sampler_mode!r}"
             )
-        if engine not in ENGINE_MODES:
+        if engine not in ALLOCATOR_ENGINE_MODES:
             raise ConfigurationError(
-                f"engine must be one of {ENGINE_MODES}, got {engine!r}"
+                f"engine must be one of {ALLOCATOR_ENGINE_MODES}, got {engine!r}"
             )
         if rng not in RNG_MODES:
             raise ConfigurationError(f"rng must be one of {RNG_MODES}, got {rng!r}")
+        if engine == "dist":
+            if coordinator is None:
+                raise ConfigurationError(
+                    "engine='dist' needs a coordinator: pass a started "
+                    "repro.dist.Coordinator or a spec dict"
+                )
+            if rng != "philox":
+                raise ConfigurationError(
+                    "engine='dist' requires rng='philox': legacy streams "
+                    "cannot be re-derived on remote workers"
+                )
+        elif coordinator is not None:
+            raise ConfigurationError(
+                f"coordinator is only meaningful with engine='dist', "
+                f"got engine={engine!r}"
+            )
         if chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
         if not isinstance(backend, SamplingBackend) and backend not in BACKEND_MODES:
@@ -293,6 +325,7 @@ class TIRMAllocator(Allocator):
         self.select_rule = select_rule
         self.sampler_mode = sampler_mode
         self.engine = engine
+        self.coordinator = coordinator
         self.rng = rng
         self.chunk_size = int(chunk_size)
         self.backend = backend
@@ -366,8 +399,10 @@ class TIRMAllocator(Allocator):
         # stats/provenance/checkpoints record the substrate actually
         # used (and an unavailable explicit 'shm' fails cleanly here).
         # Like the backend, it is recorded but never matched on resume.
-        self._transport_resolved = ShardedSamplingEngine.resolve_transport(
-            self.transport
+        # The distributed engine's transport is always the socket wire.
+        self._transport_resolved = (
+            "socket" if self.engine == "dist"
+            else ShardedSamplingEngine.resolve_transport(self.transport)
         )
         checkpoint = self._load_checkpoint(problem)
         engine = self._build_engine(problem, cache, checkpoint)
@@ -409,6 +444,27 @@ class TIRMAllocator(Allocator):
             seeds = list(checkpoint.entropies)
         else:
             seeds = self._seed
+        if self.engine == "dist":
+            # Imported lazily: the distributed tier is an optional layer
+            # over the engine seam, and an in-process allocation never
+            # touches repro.dist.
+            from repro.dist.engine import DistributedEngine
+
+            return DistributedEngine(
+                problem.graph,
+                [problem.ad_edge_probabilities(ad) for ad in range(h)],
+                coordinator=self.coordinator,
+                seeds=seeds,
+                mode=self.sampler_mode,
+                rng=self.rng,
+                chunk_size=self.chunk_size,
+                backend=self._backend_obj if self._backend_obj is not None
+                else self.backend,
+                dsan=self.dsan,
+                cache=cache,
+                max_workers=self.max_workers,
+                **engine_kwargs,
+            )
         return ShardedSamplingEngine(
             problem.graph,
             [problem.ad_edge_probabilities(ad) for ad in range(h)],
@@ -442,8 +498,9 @@ class TIRMAllocator(Allocator):
         if self._backend_obj is None:
             self._backend_obj = resolve_backend(self.backend)
         if self._transport_resolved is None:
-            self._transport_resolved = ShardedSamplingEngine.resolve_transport(
-                self.transport
+            self._transport_resolved = (
+                "socket" if self.engine == "dist"
+                else ShardedSamplingEngine.resolve_transport(self.transport)
             )
         return {
             "algorithm": self.name,

@@ -94,12 +94,13 @@ class AnalysisConfig:
     #: Modules where R104 additionally enforces network-resource
     #: hygiene: a scope that creates an asyncio server
     #: (``asyncio.start_server``) or a raw socket (``socket.socket`` /
-    #: ``socket.create_connection``) must reach a ``close()`` /
-    #: ``wait_closed()`` on its success *and* error flows, unless the
-    #: object is managed by a ``with`` block.  The resident service
-    #: holds these resources across client lifetimes, so an unclosed
-    #: server or socket there is a leak bug, not a style nit.
-    service_modules: tuple[str, ...] = ("repro/service/",)
+    #: ``socket.create_server`` / ``socket.create_connection``) must
+    #: reach a ``close()`` / ``wait_closed()`` on its success *and*
+    #: error flows, unless the object is managed by a ``with`` block.
+    #: The resident service and the distributed tier hold these
+    #: resources across client/worker lifetimes, so an unclosed server
+    #: or socket there is a leak bug, not a style nit.
+    service_modules: tuple[str, ...] = ("repro/service/", "repro/dist/")
     #: The one module allowed to touch the pool's private buffers (R105).
     pool_module: str = "repro/rrset/pool.py"
     #: The private buffer attributes R105 guards.

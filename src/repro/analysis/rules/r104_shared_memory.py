@@ -21,15 +21,17 @@ sampling paths, and a handle that escapes its statement stays open
 across error paths — on the same leak axis as an unlinked segment, so
 it lives under the same code.
 
-In the service tier (``service_modules``, i.e. ``service/``) the rule
-enforces the same discipline for network resources: a scope that
-creates an asyncio server (``asyncio.start_server``) or a raw socket
-(``socket.socket`` / ``socket.create_connection``) must reach a
+In the service tier (``service_modules``, i.e. ``service/`` and the
+distributed tier ``dist/``) the rule enforces the same discipline for
+network resources: a scope that creates an asyncio server
+(``asyncio.start_server``) or a socket (``socket.socket`` /
+``socket.create_server`` / ``socket.create_connection``) must reach a
 ``close()`` or ``wait_closed()`` call on both its success and error
 flows — unless the object is managed by a ``with`` / ``async with``
 block, which closes on every path by construction.  The resident
-service holds these objects across whole client lifetimes, so one
-missed close on an error path accumulates forever.
+service and the coordinator hold these objects across whole client and
+worker lifetimes, so one missed close on an error path accumulates
+forever.
 """
 
 from __future__ import annotations
@@ -47,6 +49,7 @@ from repro.analysis.rules.base import LintContext, Rule, dotted_name
 NETWORK_CREATORS = {
     "asyncio.start_server": "asyncio server",
     "socket.socket": "socket",
+    "socket.create_server": "listening socket",
     "socket.create_connection": "socket",
 }
 

@@ -30,6 +30,7 @@ _ALLOCATORS: dict[str, Callable[..., object]] = {
     "tirm": lambda args: TIRMAllocator(
         seed=args.seed, epsilon=args.epsilon, max_rr_sets_per_ad=args.max_rr_sets,
         engine=getattr(args, "engine", "serial"),
+        coordinator=getattr(args, "_coordinator", None),
         rng=getattr(args, "rng", "philox"),
         chunk_size=getattr(args, "chunk_size", DEFAULT_CHUNK_SIZE),
         backend=getattr(args, "backend", "numpy"),
@@ -89,10 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
     allocate.add_argument("--seed", type=int, default=0)
     allocate.add_argument("--epsilon", type=float, default=0.1)
     allocate.add_argument("--max-rr-sets", type=int, default=20_000, dest="max_rr_sets")
-    allocate.add_argument("--engine", choices=("serial", "process"), default="serial",
-                          help="RR-set sampling engine: in-process serial or the "
-                               "per-advertiser sharded process pool (TIRM only; "
-                               "both give identical allocations for a seed)")
+    allocate.add_argument("--engine", choices=("serial", "process", "dist"),
+                          default="serial",
+                          help="RR-set sampling engine: in-process serial, the "
+                               "per-advertiser sharded process pool, or the "
+                               "distributed coordinator over socket workers "
+                               "(TIRM only; all give identical allocations "
+                               "for a seed)")
     allocate.add_argument("--rng", choices=RNG_MODES, default="philox",
                           help="RR-set RNG streams (TIRM only): 'philox' = "
                                "counter-based, every set addressed by (seed, ad, "
@@ -162,6 +166,25 @@ def build_parser() -> argparse.ArgumentParser:
                                "the run in DIR's experiment catalog (see "
                                "`repro ls`).  REPRO_CACHE=DIR does the same "
                                "without the flag")
+    allocate.add_argument("--dist-port", type=int, default=0, dest="dist_port",
+                          metavar="PORT",
+                          help="coordinator TCP port for --engine dist "
+                               "(default 0: ephemeral; the bound port is "
+                               "printed so workers can dial in)")
+    allocate.add_argument("--dist-host", default="127.0.0.1", dest="dist_host",
+                          help="coordinator bind host for --engine dist "
+                               "(non-loopback hosts need --allow-remote)")
+    allocate.add_argument("--wait-workers", type=int, default=0,
+                          dest="wait_workers", metavar="N",
+                          help="block until N workers have dialed in before "
+                               "allocating (--engine dist; without it the "
+                               "coordinator's grace period applies and "
+                               "chunks fall back to local compute)")
+    allocate.add_argument("--allow-remote", action="store_true",
+                          dest="allow_remote",
+                          help="allow binding the --engine dist coordinator "
+                               "to a non-loopback --dist-host (the protocol "
+                               "is unauthenticated; loopback is the default)")
     allocate.add_argument("--mc-runs", type=int, default=200, dest="mc_runs")
     allocate.add_argument("--alpha", type=float, default=0.8)
 
@@ -242,6 +265,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the bound port to PATH (atomic; removed "
                             "on shutdown) so clients find an ephemeral port")
     serve.add_argument("--cache", default=None, metavar="DIR", help=cache_help)
+    serve.add_argument("--allow-remote", action="store_true",
+                       dest="allow_remote",
+                       help="allow binding to a non-loopback --host (the "
+                            "protocol is unauthenticated; loopback is the "
+                            "default and never needs this)")
+    serve.add_argument("--dist-port", type=int, default=None, dest="dist_port",
+                       metavar="PORT",
+                       help="also run a distributed-sampling coordinator on "
+                            "PORT (0: ephemeral) so engine='dist' jobs "
+                            "scatter chunks to `repro worker` fleets")
+    serve.add_argument("--dist-host", default="127.0.0.1", dest="dist_host",
+                       help="coordinator bind host (non-loopback needs "
+                            "--allow-remote)")
+
+    worker = commands.add_parser(
+        "worker",
+        help="run one stateless sampling worker against a coordinator "
+             "(re-derives chunks from (seed, ad, chunk); any number may "
+             "dial in and the allocation bytes never change)",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's address, e.g. 127.0.0.1:7070")
+    worker.add_argument("--cache", default=None, metavar="DIR",
+                        help="local content-addressed shard store consulted "
+                             "before sampling and fed after (default: the "
+                             "REPRO_CACHE environment variable)")
+    worker.add_argument("--backend", choices=BACKEND_MODES, default="numpy",
+                        help="this worker's blocked-BFS backend; byte-"
+                             "identical across backends, so a fleet may mix "
+                             "them freely")
+    worker.add_argument("--name", default=None,
+                        help="name reported to the coordinator's worker "
+                             "table (default: pid-<pid>)")
 
     def _add_conn_args(command) -> None:
         command.add_argument("--host", default="127.0.0.1")
@@ -266,8 +322,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--epsilon", type=float, default=0.1)
     submit.add_argument("--max-rr-sets", type=int, default=20_000,
                         dest="max_rr_sets")
-    submit.add_argument("--engine", choices=("serial", "process"),
-                        default="serial")
+    submit.add_argument("--engine", choices=("serial", "process", "dist"),
+                        default="serial",
+                        help="'dist' needs the service started with "
+                             "--dist-port (the job runs on the server's "
+                             "worker fleet)")
     submit.add_argument("--rng", choices=RNG_MODES, default="philox")
     submit.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
                         dest="chunk_size")
@@ -327,8 +386,30 @@ def _cmd_datasets(args) -> int:
 
 def _cmd_allocate(args) -> int:
     problem = load_dataset(args.dataset, **_dataset_kwargs(args))
-    allocator = _ALLOCATORS[args.algorithm](args)
-    result = allocator.allocate(problem)
+    coordinator = None
+    if getattr(args, "engine", "serial") == "dist" and args.algorithm == "tirm":
+        # The CLI owns the coordinator's lifetime (the allocator only
+        # borrows it), so workers can keep dialing the printed port
+        # across the whole run and teardown is one close() below.
+        from repro.dist import Coordinator
+
+        coordinator = Coordinator(
+            host=args.dist_host, port=args.dist_port,
+            allow_remote=args.allow_remote,
+        ).start()
+        print(f"coordinator listening on {coordinator.host}:"
+              f"{coordinator.port} — connect workers with "
+              f"`repro worker --connect {coordinator.host}:{coordinator.port}`",
+              flush=True)
+        if args.wait_workers > 0:
+            coordinator.wait_for_workers(args.wait_workers)
+        args._coordinator = coordinator
+    try:
+        allocator = _ALLOCATORS[args.algorithm](args)
+        result = allocator.allocate(problem)
+    finally:
+        if coordinator is not None:
+            coordinator.close()
     report = RegretEvaluator(problem, num_runs=args.eval_runs, seed=args.seed + 1).evaluate(
         result.allocation, algorithm=allocator.name
     )
@@ -354,6 +435,15 @@ def _cmd_allocate(args) -> int:
               f"{cache_stats['misses']} misses, {cache_stats['stores']} blocks "
               f"stored, {result.stats['backend_invocations']} backend "
               f"invocations")
+    dist_stats = result.stats.get("dist")
+    if dist_stats is not None:
+        print(f"dist: {dist_stats['tasks_completed']} chunks over "
+              f"{dist_stats['workers_connected']} workers — "
+              f"{dist_stats['retries']} retries, "
+              f"{dist_stats['timeouts']} timeouts, "
+              f"{dist_stats['disconnects']} disconnects, "
+              f"{dist_stats['corrupt_blocks']} corrupt blocks, "
+              f"{dist_stats['local_fallbacks']} local fallbacks")
     rows = [
         ["total regret (MC)", report.total_regret],
         ["relative to budget", report.regret.relative_to_budget()],
@@ -484,9 +574,57 @@ def _cmd_serve(args) -> int:
     # machinery the batch commands never need.
     from repro.service import AllocationServer, JobManager
 
-    manager = JobManager(cache=args.cache)
-    server = AllocationServer(manager, host=args.host, port=args.port)
+    coordinator_spec = None
+    if args.dist_port is not None:
+        # A spec dict makes the manager build *and own* the coordinator,
+        # so one close() tears down jobs, pool, coordinator and cache.
+        coordinator_spec = {
+            "host": args.dist_host,
+            "port": args.dist_port,
+            "allow_remote": args.allow_remote,
+        }
+    manager = JobManager(cache=args.cache, coordinator=coordinator_spec)
+    if manager.coordinator is not None:
+        print(f"coordinator listening on {manager.coordinator.host}:"
+              f"{manager.coordinator.port} — connect workers with "
+              f"`repro worker --connect "
+              f"{manager.coordinator.host}:{manager.coordinator.port}`",
+              flush=True)
+    try:
+        server = AllocationServer(
+            manager, host=args.host, port=args.port,
+            allow_remote=args.allow_remote,
+        )
+    except BaseException:
+        # Bind rejection (non-loopback host without --allow-remote) must
+        # not leak the manager's pool/coordinator/cache.
+        manager.close()
+        raise
     server.serve(port_file=args.port_file)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    # Lazy import: the distributed tier never loads for batch commands.
+    from repro.dist import WorkerHost
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise ConfigurationError(
+            f"--connect wants HOST:PORT, got {args.connect!r}"
+        )
+    worker = WorkerHost(
+        host, int(port), cache=args.cache, backend=args.backend,
+        name=args.name,
+    )
+    print(f"worker {worker.name} ({worker.backend.name}) connecting to "
+          f"{host}:{port}", flush=True)
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    print(f"worker {worker.name} served {worker.chunks_served} chunks "
+          f"({worker.cache_hits} from the local cache)")
     return 0
 
 
@@ -569,6 +707,7 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "gc": _cmd_gc,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "submit": _cmd_submit,
     "progress": _cmd_progress,
     "cancel": _cmd_cancel,

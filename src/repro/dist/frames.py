@@ -1,0 +1,259 @@
+"""Length-prefixed binary frame codec for the coordinator/worker wire.
+
+One frame is a fixed 16-byte header followed by a payload::
+
+    <4s magic "RPF1"> <B kind> <3x pad> <q payload length>  payload...
+
+Control frames (HELLO / SETUP / TASK / ERROR / RELEASE / SHUTDOWN)
+carry a JSON object; PAYLOAD carries the raw session arena bytes; and
+RESULT carries one full chunk block in the shard store's layout
+(:mod:`repro.store.blocks`) — a 64-byte header followed by
+``[int64 lengths | int32 members]``, stamped with the same blake2
+digest the dsan and the shard cache use::
+
+    <q ad> <q chunk> <q num_sets> <q num_members> <32s digest-hex>
+    lengths[int64] members[int32]
+
+The digest is computed by the worker over the arrays it sampled and
+re-verified by the coordinator over the bytes it received
+(:func:`unpack_result`), so a bit-flipped payload surfaces as
+:class:`FrameIntegrityError` — the coordinator requeues the chunk
+instead of splicing garbage.
+
+Every malformed input — bad magic, unknown kind, negative or oversize
+length prefix, truncated header, a connection dropped mid-frame —
+raises :class:`~repro.errors.ProtocolError`; a clean EOF *between*
+frames is not an error (:func:`recv_frame` returns ``None``).  The
+:class:`FrameDecoder` is a socket-free incremental parser, so the
+protocol fuzz tests drive it with raw byte streams directly.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.rrset.dsan import digest_block
+from repro.rrset.pool import MEMBER_DTYPE
+
+#: Wire magic: first bytes of every frame.  Distinct from the shard
+#: store's ``RRSBLK01`` on purpose — a block file fed to a socket (or
+#: the reverse) must fail loudly, not parse.
+MAGIC = b"RPF1"
+
+#: Bumped on any incompatible wire change; HELLO carries it and the
+#: coordinator refuses mismatched workers.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct("<4sB3xq")
+HEADER_SIZE = _HEADER.size
+
+# Frame kinds.
+HELLO = 1      # worker -> coordinator: {"protocol", "name", ...}
+SETUP = 2      # coordinator -> worker: session meta (dims, entropies, layout)
+PAYLOAD = 3    # coordinator -> worker: the session's raw arena bytes
+TASK = 4       # coordinator -> worker: {"session", "ad", "chunk", "mode"}
+RESULT = 5     # worker -> coordinator: one packed chunk block (see above)
+ERROR = 6      # worker -> coordinator: {"error": ...}
+RELEASE = 7    # coordinator -> worker: {"session"} — drop session state
+SHUTDOWN = 8   # coordinator -> worker: close down cleanly
+
+FRAME_KINDS = frozenset(
+    {HELLO, SETUP, PAYLOAD, TASK, RESULT, ERROR, RELEASE, SHUTDOWN}
+)
+
+#: Default ceiling on one frame's payload.  A chunk block is
+#: ``chunk_size`` sets of bounded length; 256 MiB accommodates any
+#: realistic session arena while keeping a hostile length prefix from
+#: allocating unbounded memory.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_RESULT_HEADER = struct.Struct("<qqqq32s")
+RESULT_HEADER_SIZE = _RESULT_HEADER.size
+
+_LENGTH_DTYPE = np.dtype(np.int64)
+_MEMBER_DTYPE = np.dtype(MEMBER_DTYPE)
+
+
+class FrameIntegrityError(ProtocolError):
+    """A structurally valid RESULT frame whose payload fails its digest
+    (or addresses the wrong chunk) — the transport corrupted the block,
+    or the worker lied.  The coordinator treats either the same way:
+    drop the worker, requeue the chunk."""
+
+
+def pack_frame(kind: int, payload: bytes = b"") -> bytes:
+    """One wire frame: header + payload."""
+    if kind not in FRAME_KINDS:
+        raise ProtocolError(f"unknown frame kind {kind!r}")
+    return _HEADER.pack(MAGIC, kind, len(payload)) + payload
+
+
+def pack_json(kind: int, obj: dict) -> bytes:
+    """A control frame carrying one JSON object."""
+    return pack_frame(kind, json.dumps(obj).encode("utf-8"))
+
+
+def parse_json(payload: bytes) -> dict:
+    """Decode a control frame's payload; anything but a JSON object is
+    a protocol violation."""
+    try:
+        parsed = json.loads(payload)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"control frame is not valid JSON: {exc}") from exc
+    if not isinstance(parsed, dict):
+        raise ProtocolError(
+            f"control frame must carry a JSON object, got {type(parsed).__name__}"
+        )
+    return parsed
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte stream.
+
+    Feed received bytes with :meth:`feed`; :meth:`next_frame` yields
+    complete ``(kind, payload)`` frames (``None`` while incomplete).
+    Header validation happens as soon as the 16 header bytes are
+    buffered, so a hostile length prefix is rejected *before* its
+    payload is awaited, let alone allocated.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes buffered but not yet returned as a frame.  Nonzero at
+        EOF means the peer vanished mid-frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def next_frame(self) -> tuple[int, bytes] | None:
+        if len(self._buffer) < HEADER_SIZE:
+            return None
+        magic, kind, length = _HEADER.unpack_from(self._buffer)
+        if magic != MAGIC:
+            raise ProtocolError(
+                f"bad frame magic {bytes(magic)!r} (expected {MAGIC!r})"
+            )
+        if kind not in FRAME_KINDS:
+            raise ProtocolError(f"unknown frame kind {kind}")
+        if length < 0:
+            raise ProtocolError(f"negative frame length {length}")
+        if length > self.max_frame_bytes:
+            raise ProtocolError(
+                f"frame length {length} exceeds the {self.max_frame_bytes}-"
+                f"byte limit"
+            )
+        if len(self._buffer) < HEADER_SIZE + length:
+            return None
+        payload = bytes(self._buffer[HEADER_SIZE:HEADER_SIZE + length])
+        del self._buffer[:HEADER_SIZE + length]
+        return kind, payload
+
+    def close(self) -> None:
+        """Signal EOF: raises :class:`~repro.errors.ProtocolError` when
+        the stream ended inside a frame."""
+        if self._buffer:
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(self._buffer)} bytes "
+                f"into an incomplete frame)"
+            )
+
+
+def send_frame(sock, kind: int, payload: bytes = b"") -> None:
+    """Write one frame to a connected socket."""
+    sock.sendall(pack_frame(kind, payload))
+
+
+def send_json(sock, kind: int, obj: dict) -> None:
+    """Write one JSON control frame to a connected socket."""
+    sock.sendall(pack_json(kind, obj))
+
+
+def recv_frame(sock, decoder: FrameDecoder, *,
+               bufsize: int = 1 << 16) -> tuple[int, bytes] | None:
+    """Read one complete frame from a connected socket.
+
+    Returns ``None`` on a clean EOF between frames; raises
+    :class:`~repro.errors.ProtocolError` on EOF mid-frame or any header
+    violation.  A socket timeout propagates as :class:`TimeoutError` —
+    the coordinator's stall detection, never a hung ``recv``."""
+    while True:
+        frame = decoder.next_frame()
+        if frame is not None:
+            return frame
+        data = sock.recv(bufsize)
+        if not data:
+            decoder.close()  # raises if mid-frame
+            return None
+        decoder.feed(data)
+
+
+def pack_result(ad: int, chunk_index: int, members, lengths) -> bytes:
+    """Pack one full chunk block into a RESULT payload, stamped with
+    the same blake2 digest the dsan records for this block."""
+    lengths = np.ascontiguousarray(lengths, dtype=_LENGTH_DTYPE)
+    members = np.ascontiguousarray(members, dtype=_MEMBER_DTYPE)
+    digest = digest_block(members, lengths).encode("ascii")
+    header = _RESULT_HEADER.pack(
+        int(ad), int(chunk_index), lengths.size, members.size, digest
+    )
+    return header + lengths.tobytes() + members.tobytes()
+
+
+def unpack_result(payload: bytes) -> tuple[int, int, np.ndarray, np.ndarray]:
+    """Parse and *verify* a RESULT payload.
+
+    Structural violations (short header, inconsistent sizes) raise
+    :class:`~repro.errors.ProtocolError`; a payload whose recomputed
+    digest differs from its stamp raises :class:`FrameIntegrityError`.
+    The returned arrays are fresh copies owned by the caller."""
+    if len(payload) < RESULT_HEADER_SIZE:
+        raise ProtocolError(
+            f"RESULT payload truncated: {len(payload)} bytes is shorter "
+            f"than the {RESULT_HEADER_SIZE}-byte header"
+        )
+    ad, chunk_index, num_sets, num_members, digest = _RESULT_HEADER.unpack_from(
+        payload
+    )
+    if num_sets < 0 or num_members < 0:
+        raise ProtocolError(
+            f"RESULT header has negative sizes ({num_sets}, {num_members})"
+        )
+    expected = (
+        RESULT_HEADER_SIZE
+        + num_sets * _LENGTH_DTYPE.itemsize
+        + num_members * _MEMBER_DTYPE.itemsize
+    )
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"RESULT payload is {len(payload)} bytes; header promises "
+            f"{expected}"
+        )
+    lengths = np.frombuffer(
+        payload, dtype=_LENGTH_DTYPE, count=num_sets, offset=RESULT_HEADER_SIZE
+    ).copy()
+    members = np.frombuffer(
+        payload, dtype=_MEMBER_DTYPE, count=num_members,
+        offset=RESULT_HEADER_SIZE + num_sets * _LENGTH_DTYPE.itemsize,
+    ).copy()
+    if int(lengths.sum()) != num_members:
+        raise ProtocolError(
+            f"RESULT lengths sum to {int(lengths.sum())}, header promises "
+            f"{num_members} members"
+        )
+    actual = digest_block(members, lengths).encode("ascii")
+    if actual != digest:
+        raise FrameIntegrityError(
+            f"RESULT block for (ad={ad}, chunk={chunk_index}) fails its "
+            f"digest: stamped {digest.decode('ascii', 'replace')}, "
+            f"recomputed {actual.decode('ascii')}"
+        )
+    return int(ad), int(chunk_index), members, lengths

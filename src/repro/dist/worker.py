@@ -1,0 +1,259 @@
+"""The stateless half of the distributed tier: one socket worker.
+
+``repro worker --connect HOST:PORT`` runs one :class:`WorkerHost`: it
+dials the coordinator, announces itself (HELLO), and then serves TASK
+frames until the coordinator says SHUTDOWN (or vanishes).  Per session
+it receives the payload once — graph in-CSR, per-ad probability rows,
+stream entropies — in exactly the layout the spawn arena uses
+(:func:`repro.rrset.sharded._payload_parts`), rebuilds zero-copy views,
+and re-derives any requested chunk purely from
+``(entropy, ad, chunk)``: no sampler state ever crosses the wire, which
+is why a chunk can be recomputed by *any* worker after a failure and
+still be byte-identical.
+
+With ``--cache DIR`` the worker consults (and feeds) a local
+content-addressed shard store before sampling — the shard keys arrive
+in the session meta, so a worker parked next to a warm cache serves
+chunks without invoking its backend at all.
+
+The worker's backend (``--backend numpy|numba|auto``) is provenance,
+not contract: every backend produces byte-identical blocks, so a fleet
+may mix them freely.
+
+Chaos hooks: the three ``_compute_result`` / ``_before_result`` /
+``_send_result`` seams exist so the fault-injection harness
+(``tests/dist/chaos.py``) can corrupt, stall, or kill a worker at exact
+chunk boundaries without touching the protocol code it is testing.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+
+import numpy as np
+
+from repro.dist import frames
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rrset.backends import resolve_backend
+from repro.rrset.sampler import RRSetSampler, StreamPlan
+from repro.rrset.sharded import _graph_from_arrays
+
+#: Seconds to wait for the initial TCP connect.
+CONNECT_TIMEOUT = 10.0
+
+
+class WorkerExit(Exception):
+    """Internal control flow: a chaos hook (or SHUTDOWN frame) asked the
+    worker to stop serving.  Never crosses the public API."""
+
+
+class _Session:
+    """One registered session's rebuilt payload + lazy per-ad samplers."""
+
+    __slots__ = ("meta", "graph", "probs_per_ad", "entropies", "chunk_size",
+                 "shard_keys", "samplers")
+
+    def __init__(self, meta: dict, payload: bytes) -> None:
+        layout = meta.get("layout")
+        if not isinstance(layout, list):
+            raise ProtocolError("SETUP meta is missing the payload layout")
+        arrays = {}
+        for key, dtype, count, offset in layout:
+            end = offset + count * np.dtype(dtype).itemsize
+            if offset < 0 or end > len(payload):
+                raise ProtocolError(
+                    f"payload layout entry {key!r} overruns the "
+                    f"{len(payload)}-byte payload"
+                )
+            arrays[key] = np.frombuffer(
+                payload, dtype=np.dtype(dtype), count=count, offset=offset
+            )
+        self.meta = meta
+        self.graph = _graph_from_arrays(
+            meta["num_nodes"], meta["num_edges"], arrays
+        )
+        h = int(meta["h"])
+        try:
+            self.probs_per_ad = [arrays[f"probs_{ad}"] for ad in range(h)]
+        except KeyError as exc:
+            raise ProtocolError(f"payload is missing array {exc}") from exc
+        self.entropies = [int(e) for e in meta["entropies"]]
+        self.chunk_size = int(meta["chunk_size"])
+        self.shard_keys = meta.get("shard_keys")
+        self.samplers: dict[int, RRSetSampler] = {}
+
+
+class WorkerHost:
+    """One connection's worth of stateless chunk service.
+
+    Parameters
+    ----------
+    host / port:
+        The coordinator's bound address.
+    cache:
+        Optional local shard-store directory (or ready
+        :class:`~repro.store.ShardCache`); consulted before sampling,
+        fed after.  ``None`` defers to ``REPRO_CACHE`` like the engine.
+    backend:
+        This worker's blocked-BFS backend.  Provenance, not contract.
+    name:
+        Reported in HELLO and in the coordinator's worker table
+        (default: ``pid-<pid>``).
+    """
+
+    def __init__(self, host: str, port: int, *, cache=None,
+                 backend="numpy", name: str | None = None,
+                 max_frame_bytes: int = frames.MAX_FRAME_BYTES) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self.name = name or f"pid-{os.getpid()}"
+        self.backend = resolve_backend(backend)
+        self.max_frame_bytes = int(max_frame_bytes)
+        from repro.store.cache import resolve_cache
+
+        self._cache, self._cache_owned = resolve_cache(cache)
+        self._sessions: dict[int, _Session] = {}
+        self._pending_setup: dict | None = None
+        #: Chunks served over this host's lifetime (chaos hooks key off
+        #: it; the CLI prints it at exit).
+        self.chunks_served = 0
+        #: Chunks answered from the local cache without sampling.
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Connect, serve until SHUTDOWN / EOF / a chaos hook exit."""
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=CONNECT_TIMEOUT
+            )
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot connect to coordinator at {self.host}:{self.port}: "
+                f"{exc}"
+            ) from exc
+        try:
+            sock.settimeout(None)
+            frames.send_json(sock, frames.HELLO, {
+                "protocol": frames.PROTOCOL_VERSION,
+                "name": self.name,
+                "backend": self.backend.name,
+                "cache": self._cache is not None,
+            })
+            decoder = frames.FrameDecoder(self.max_frame_bytes)
+            while True:
+                frame = frames.recv_frame(sock, decoder)
+                if frame is None:
+                    break  # coordinator is gone; a clean exit
+                try:
+                    self._handle_frame(sock, *frame)
+                except WorkerExit:
+                    break
+        finally:
+            sock.close()
+            if self._cache is not None and self._cache_owned:
+                self._cache.close()
+
+    # ------------------------------------------------------------------
+    # Frame handling
+    # ------------------------------------------------------------------
+    def _handle_frame(self, sock, kind: int, payload: bytes) -> None:
+        if kind == frames.SETUP:
+            self._pending_setup = frames.parse_json(payload)
+            return
+        if kind == frames.PAYLOAD:
+            meta, self._pending_setup = self._pending_setup, None
+            if meta is None:
+                raise ProtocolError("PAYLOAD frame without a preceding SETUP")
+            self._sessions[int(meta["session"])] = _Session(meta, payload)
+            return
+        if kind == frames.TASK:
+            self._handle_task(sock, frames.parse_json(payload))
+            return
+        if kind == frames.RELEASE:
+            info = frames.parse_json(payload)
+            self._sessions.pop(int(info.get("session", -1)), None)
+            return
+        if kind == frames.SHUTDOWN:
+            raise WorkerExit
+        raise ProtocolError(f"unexpected frame kind {kind} from coordinator")
+
+    def _handle_task(self, sock, info: dict) -> None:
+        try:
+            session_id = int(info["session"])
+            ad = int(info["ad"])
+            chunk_index = int(info["chunk"])
+            mode = str(info["mode"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed TASK frame: {exc}") from exc
+        session = self._sessions.get(session_id)
+        if session is None:
+            frames.send_json(sock, frames.ERROR, {
+                "error": f"unknown session {session_id}",
+            })
+            return
+        payload = self._compute_result(session, ad, chunk_index, mode)
+        self.chunks_served += 1
+        self._before_result(ad, chunk_index)
+        self._send_result(sock, ad, chunk_index, payload)
+
+    # ------------------------------------------------------------------
+    # Chunk computation (+ chaos seams)
+    # ------------------------------------------------------------------
+    def _compute_result(self, session: _Session, ad: int, chunk_index: int,
+                        mode: str) -> bytes:
+        """One packed RESULT payload for the addressed chunk — served
+        from the local shard cache when possible, else re-derived from
+        ``(entropy, ad, chunk)`` and written through."""
+        if not 0 <= ad < len(session.probs_per_ad):
+            raise ProtocolError(f"TASK addresses unknown ad {ad}")
+        shard_key = None
+        if self._cache is not None and session.shard_keys:
+            shard_key = session.shard_keys[ad]
+            entry = self._cache.load(shard_key, chunk_index)
+            if entry is not None:
+                try:
+                    if entry.num_sets == session.chunk_size:
+                        self.cache_hits += 1
+                        return frames.pack_result(
+                            ad, chunk_index, entry.members, entry.lengths
+                        )
+                finally:
+                    entry.release()
+        sampler = session.samplers.get(ad)
+        if sampler is None:
+            # Chunk streams come from the plan; the sampler seed is inert.
+            sampler = RRSetSampler(
+                session.graph, session.probs_per_ad[ad], seed=0,
+                backend=self.backend,
+            )
+            session.samplers[ad] = sampler
+        plan = StreamPlan(session.entropies[ad], ad, session.chunk_size)
+        members, lengths = sampler.sample_chunk_block(
+            plan, chunk_index, mode=mode
+        )
+        if shard_key is not None:
+            self._cache.store(
+                shard_key, chunk_index, members, lengths,
+                meta={"ad": ad, "rng": "philox", "mode": mode,
+                      "chunk_size": session.chunk_size,
+                      "entropy": str(session.entropies[ad]),
+                      "graph_hash": session.meta.get("graph_digest")},
+            )
+        return frames.pack_result(ad, chunk_index, members, lengths)
+
+    def _before_result(self, ad: int, chunk_index: int) -> None:
+        """Chaos seam: called between computing a result and sending it.
+        The harness overrides this to stall (sleep past the coordinator
+        timeout) or crash (raise :class:`WorkerExit`) at an exact chunk
+        boundary.  The default does nothing."""
+
+    def _send_result(self, sock, ad: int, chunk_index: int,
+                     payload: bytes) -> None:
+        """Chaos seam: ship one RESULT payload.  The harness overrides
+        this to bit-flip the payload or send a truncated frame.  The
+        default sends it faithfully."""
+        frames.send_frame(sock, frames.RESULT, payload)

@@ -59,6 +59,16 @@ class DeterminismError(ReproError):
         self.chunk = chunk
 
 
+class ProtocolError(ReproError):
+    """Raised by the distributed tier (:mod:`repro.dist`) for malformed
+    wire traffic: a frame with a bad magic, an oversize or negative
+    length prefix, a truncated header, a connection dropped mid-frame,
+    or a payload that fails its structural checks.  The coordinator
+    answers every protocol violation by dropping the offending
+    connection and requeuing its in-flight chunk — never by trusting
+    the bytes."""
+
+
 class SessionError(ReproError):
     """Raised for invalid allocation-session transitions: driving a
     failed session, reading a result before a terminal state, or handing

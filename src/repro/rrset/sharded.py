@@ -226,6 +226,57 @@ def _worker_sample_chunk(
     return ad, chunk_index, members, lengths
 
 
+def _payload_parts(
+    graph: DirectedGraph, samplers: Sequence,
+) -> list[tuple[str, np.ndarray]]:
+    """The engine payload as named contiguous arrays — the graph in-CSR
+    plus one canonical probability row per advertiser.  Single source of
+    truth for every payload shipment: the spawn arena
+    (:meth:`ShardedSamplingEngine._spawn_initargs`) and the distributed
+    tier's session PAYLOAD frame (:mod:`repro.dist`) pack exactly this
+    list, and workers on either substrate rebuild identical views."""
+    parts: list[tuple[str, np.ndarray]] = [
+        ("in_indptr", np.ascontiguousarray(graph.in_indptr)),
+        ("in_sources", np.ascontiguousarray(graph.in_sources)),
+        ("in_edge_ids", np.ascontiguousarray(graph.in_edge_ids)),
+    ]
+    for ad, sampler in enumerate(samplers):
+        parts.append(
+            (f"probs_{ad}", np.ascontiguousarray(sampler.edge_probabilities))
+        )
+    return parts
+
+
+def _payload_layout(
+    parts: list[tuple[str, np.ndarray]],
+) -> tuple[list[tuple[str, str, int, int]], int]:
+    """8-byte-aligned ``(key, dtype, count, offset)`` layout for a flat
+    payload buffer holding ``parts``, plus the buffer's total size."""
+    layout: list[tuple[str, str, int, int]] = []
+    offset = 0
+    for key, array in parts:
+        offset = (offset + 7) & ~7  # 8-byte align every block
+        layout.append((key, array.dtype.str, int(array.size), offset))
+        offset += array.nbytes
+    return layout, max(offset, 1)
+
+
+def _graph_from_arrays(
+    num_nodes: int, num_edges: int, arrays: Mapping[str, np.ndarray],
+) -> DirectedGraph:
+    """Rebuild a sampling-sufficient graph from payload views.  The
+    sampling paths only touch the in-CSR (plus the two dims), so the
+    payload ships exactly that; bypass the sorting/validating
+    constructor and bind the views directly to the slots."""
+    graph = object.__new__(DirectedGraph)
+    graph.num_nodes = int(num_nodes)
+    graph.num_edges = int(num_edges)
+    graph.in_indptr = arrays["in_indptr"]
+    graph.in_sources = arrays["in_sources"]
+    graph.in_edge_ids = arrays["in_edge_ids"]
+    return graph
+
+
 def _spawn_worker_init(
     engine_id: int,
     arena_name: str,
@@ -252,15 +303,7 @@ def _spawn_worker_init(
         for key, dtype, count, offset in layout
     }
     num_nodes, num_edges, h = graph_dims
-    # The sampling paths only touch the in-CSR (plus the two dims), so
-    # the arena ships exactly that; bypass the sorting/validating
-    # constructor and bind the shm-backed views directly to the slots.
-    graph = object.__new__(DirectedGraph)
-    graph.num_nodes = num_nodes
-    graph.num_edges = num_edges
-    graph.in_indptr = arrays["in_indptr"]
-    graph.in_sources = arrays["in_sources"]
-    graph.in_edge_ids = arrays["in_edge_ids"]
+    graph = _graph_from_arrays(num_nodes, num_edges, arrays)
     probs_per_ad = [arrays[f"probs_{ad}"] for ad in range(h)]
     backend = (
         resolve_backend(backend_spec) if isinstance(backend_spec, str) else backend_spec
@@ -333,6 +376,22 @@ def _release_engine_resources(resources: dict) -> None:
     if payload_key is not None:
         resources["payload_key"] = None
         _FORK_PAYLOADS.pop(payload_key, None)
+    # Distributed session (repro.dist): release the payload held by the
+    # coordinator — and the coordinator itself when this engine built it
+    # from a spec (a borrowed coordinator belongs to the caller).
+    dist = resources.get("dist")
+    if dist is not None:
+        resources["dist"] = None
+        coordinator, session_id, owned = dist
+        try:
+            coordinator.release_session(session_id)
+        except Exception:  # pragma: no cover - teardown must not raise
+            pass
+        if owned:
+            try:
+                coordinator.close()
+            except Exception:  # pragma: no cover - teardown must not raise
+                pass
     # Shard cache last: an engine-owned cache is closed (flush + catalog
     # close); a shared one (TIRM owns it) is only flushed, so its batched
     # catalog rows land before the owner reads or closes it.
@@ -905,6 +964,16 @@ class ShardedSamplingEngine:
                 start, start + cleaned[ad]
             ):
                 tasks.append((ad, chunk_index, lo, hi))
+        self._dispatch_tasks(tasks)
+
+    def _dispatch_tasks(self, tasks: list[tuple[int, int, int, int]]) -> None:
+        """Execution seam: route a decomposed ``(ad, chunk, lo, hi)``
+        task list to a substrate.  The base engine picks between the
+        in-process path and the worker pool; subclasses (the distributed
+        engine, :mod:`repro.dist`) override this single method to scatter
+        the same tasks elsewhere — splice order, dsan recording, and the
+        cache write-through all live above this seam, so every substrate
+        is byte-identical by construction."""
         # A closed engine has no pool or payload left — serve in-process.
         # (A closed engine also has no in-flight futures: close drained
         # them.)  Any in-flight prefetch future matching a task must be
@@ -1437,22 +1506,9 @@ class ShardedSamplingEngine:
         canonical probability rows — and return the executor initializer
         arguments describing it."""
         if self._resources["arena"] is None:
-            parts: list[tuple[str, np.ndarray]] = [
-                ("in_indptr", np.ascontiguousarray(self.graph.in_indptr)),
-                ("in_sources", np.ascontiguousarray(self.graph.in_sources)),
-                ("in_edge_ids", np.ascontiguousarray(self.graph.in_edge_ids)),
-            ]
-            for ad, sampler in enumerate(self._samplers):
-                parts.append(
-                    (f"probs_{ad}", np.ascontiguousarray(sampler.edge_probabilities))
-                )
-            layout: list[tuple[str, str, int, int]] = []
-            offset = 0
-            for key, array in parts:
-                offset = (offset + 7) & ~7  # 8-byte align every block
-                layout.append((key, array.dtype.str, int(array.size), offset))
-                offset += array.nbytes
-            arena = shared_memory.SharedMemory(create=True, size=max(offset, 1))  # reprolint: disable=R104 -- arena outlives this call by design; _release_engine_resources owns the single unlink (close/GC-finalizer), the error path below unlinks locally
+            parts = _payload_parts(self.graph, self._samplers)
+            layout, total = _payload_layout(parts)
+            arena = shared_memory.SharedMemory(create=True, size=total)  # reprolint: disable=R104 -- arena outlives this call by design; _release_engine_resources owns the single unlink (close/GC-finalizer), the error path below unlinks locally
             try:
                 for (key, dtype, count, off), (_, array) in zip(layout, parts):
                     np.frombuffer(

@@ -51,8 +51,14 @@ ALLOCATOR_PARAMS = frozenset({
 DATASET_PARAMS = frozenset({"scale", "num_ads", "attention_bound", "penalty"})
 
 
-def build_allocator(params: dict | None, *, dataset: str | None) -> TIRMAllocator:
-    """A validated TIRM config from a wire-shaped params dict."""
+def build_allocator(params: dict | None, *, dataset: str | None,
+                    coordinator=None) -> TIRMAllocator:
+    """A validated TIRM config from a wire-shaped params dict.
+
+    ``engine="dist"`` jobs run on the manager's shared coordinator — a
+    client never names workers or sockets (topology is provenance, not
+    contract), it just asks for the distributed substrate.
+    """
     params = dict(params or {})
     unknown = sorted(set(params) - ALLOCATOR_PARAMS)
     if unknown:
@@ -61,6 +67,14 @@ def build_allocator(params: dict | None, *, dataset: str | None) -> TIRMAllocato
             f"{sorted(ALLOCATOR_PARAMS)}"
         )
     params.setdefault("seed", 0)
+    if params.get("engine") == "dist":
+        if coordinator is None:
+            raise ServiceError(
+                "engine='dist' jobs need the service's coordinator; start "
+                "the server with --dist-port (or build the JobManager with "
+                "coordinator=...)"
+            )
+        params["coordinator"] = coordinator
     return TIRMAllocator(dataset=dataset, **params)
 
 
@@ -191,12 +205,27 @@ class JobManager:
     ``None`` defers to the ``REPRO_CACHE`` environment variable.
     Finished jobs land as experiment-catalog allocation rows carrying
     their ``job_id`` when a cache is configured.
+
+    ``coordinator`` enables ``engine="dist"`` jobs: a started (or
+    startable) :class:`~repro.dist.Coordinator` is *borrowed* — the
+    caller owns its lifetime — while a spec dict builds one the manager
+    owns and closes.  Every distributed job shares it (and hence the
+    worker fleet); ``None`` means dist jobs are refused.
     """
 
-    def __init__(self, *, cache=None, max_idle_per_key: int = 4) -> None:
+    def __init__(self, *, cache=None, max_idle_per_key: int = 4,
+                 coordinator=None) -> None:
         from repro.store.cache import resolve_cache
 
         self.cache, self._cache_owned = resolve_cache(cache)
+        self.coordinator = None
+        self._coordinator_owned = False
+        if coordinator is not None:
+            from repro.dist.engine import DistributedEngine
+
+            self.coordinator, self._coordinator_owned = (
+                DistributedEngine._resolve_coordinator(coordinator)
+            )
         self.pool = EnginePool(cache=self.cache, max_idle_per_key=max_idle_per_key)
         self._jobs: dict[str, Job] = {}
         self._ids = itertools.count(1)
@@ -235,7 +264,9 @@ class JobManager:
                     f"{sorted(DATASET_PARAMS)}"
                 )
             problem = load_dataset(dataset, **kwargs)
-        allocator = build_allocator(params, dataset=dataset)
+        allocator = build_allocator(
+            params, dataset=dataset, coordinator=self.coordinator
+        )
         with self._lock:
             job_id = f"job-{next(self._ids):04d}"
             job = Job(job_id, dataset, problem, allocator,
@@ -389,6 +420,7 @@ class JobManager:
             allocator = build_allocator(
                 self._allocator_params(source.allocator),
                 dataset=source.dataset,
+                coordinator=self.coordinator,
             )
         if self._closed:
             raise ServiceError("job manager is closed")
@@ -460,7 +492,9 @@ class JobManager:
             raise ServiceError(f"no ad with index {ad}")
         from repro.rrset.estimator import estimate_spread_from_sets
 
-        allocator = build_allocator(params, dataset=dataset)
+        allocator = build_allocator(
+            params, dataset=dataset, coordinator=self.coordinator
+        )
         with self.pool.lease(problem, allocator) as lease:
             lease.engine.ensure({int(ad): int(num_sets)})
             spread = estimate_spread_from_sets(
@@ -492,6 +526,8 @@ class JobManager:
             if job.thread is not None:
                 job.thread.join(timeout)
         self.pool.close()
+        if self._coordinator_owned and self.coordinator is not None:
+            self.coordinator.close()
         if self._cache_owned and self.cache is not None:
             self.cache.close()
 

@@ -22,7 +22,9 @@ Operations (request ``{"op": ..., ...}`` → response ``{"ok": true,
 ``shutdown``              close the server after answering
 
 Binding defaults to loopback on an ephemeral port; ``--port-file``
-publishes the bound port for clients started before the server.
+publishes the bound port for clients started before the server.  A
+non-loopback ``--host`` is refused unless ``--allow-remote`` is given
+(the protocol is unauthenticated).
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ import os
 
 from repro.errors import ReproError, ServiceError
 from repro.service.jobs import JobManager
+from repro.utils.validation import check_bind_host
 
 #: Hard cap on one request line (a seeds list at most).
 MAX_REQUEST_BYTES = 8 * 1024 * 1024
@@ -65,12 +68,17 @@ def result_payload(job) -> dict:
 
 class AllocationServer:
     """One asyncio TCP server over one job manager (injected, owned by
-    the caller — ``serve()`` closes it on the way out)."""
+    the caller — ``serve()`` closes it on the way out).
+
+    The protocol is unauthenticated, so binding beyond loopback needs
+    the explicit ``allow_remote=True`` opt-in (``--allow-remote``)."""
 
     def __init__(self, manager: JobManager, *, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, allow_remote: bool = False) -> None:
         self.manager = manager
-        self.host = host
+        self.host = check_bind_host(
+            host, allow_remote=allow_remote, what="repro serve"
+        )
         self.port = port
         self.bound_port: int | None = None
         self._stop: asyncio.Event | None = None

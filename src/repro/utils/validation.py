@@ -8,7 +8,44 @@ inside numpy kernels.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Bind addresses that stay on the local machine.  Everything else —
+#: including the ``0.0.0.0`` / ``::`` wildcards — exposes the service
+#: to the network and needs an explicit opt-in.
+LOOPBACK_HOSTS = frozenset({"127.0.0.1", "localhost", "::1"})
+
+
+def check_bind_host(host: str, *, allow_remote: bool = False,
+                    what: str = "server") -> str:
+    """Validate a listening address against the loopback-by-default
+    policy shared by ``repro serve`` and the distributed coordinator.
+
+    A loopback ``host`` always passes.  A non-loopback host (wildcards
+    like ``0.0.0.0`` included) raises
+    :class:`~repro.errors.ConfigurationError` unless ``allow_remote``
+    is set — and even then emits a one-line warning, because the wire
+    protocols carry no authentication."""
+    host = str(host)
+    if host in LOOPBACK_HOSTS:
+        return host
+    if not allow_remote:
+        raise ConfigurationError(
+            f"refusing to bind {what} to non-loopback host {host!r}: the "
+            f"protocol is unauthenticated; pass --allow-remote to expose "
+            f"it anyway"
+        )
+    warnings.warn(
+        f"binding {what} to non-loopback host {host!r}: the protocol is "
+        f"unauthenticated — anyone who can reach this port can drive it",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return host
 
 
 def check_positive(name: str, value: float, *, strict: bool = True) -> float:

@@ -483,3 +483,122 @@ def test_submit_without_server_fails_cleanly(tmp_path, capsys):
     ])
     assert code == 2
     assert "cannot read service port" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Distributed tier: `repro worker`, --engine dist, and the bind guards
+# ---------------------------------------------------------------------------
+def test_parser_worker_flags():
+    args = build_parser().parse_args([
+        "worker", "--connect", "127.0.0.1:9410", "--backend", "numpy",
+        "--name", "w1",
+    ])
+    assert args.command == "worker"
+    assert args.connect == "127.0.0.1:9410"
+    assert args.backend == "numpy"
+    assert args.name == "w1"
+    assert args.cache is None
+
+
+def test_worker_requires_connect():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["worker"])
+
+
+def test_worker_rejects_malformed_connect(capsys):
+    code = main(["worker", "--connect", "nonsense"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "HOST:PORT" in err
+
+
+def test_worker_connection_refused_fails_cleanly(capsys):
+    # Port 1 is privileged and unbound: the dial fails immediately and
+    # must surface as a one-line error, not a traceback.
+    code = main(["worker", "--connect", "127.0.0.1:1"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "cannot connect" in err
+
+
+def test_parser_allocate_dist_flags_default_to_loopback():
+    args = build_parser().parse_args(
+        ["allocate", "figure1", "--engine", "dist"]
+    )
+    assert args.engine == "dist"
+    assert args.dist_host == "127.0.0.1"
+    assert args.dist_port == 0
+    assert args.wait_workers == 0
+    assert args.allow_remote is False
+
+
+def test_parser_serve_dist_flags_default_off():
+    args = build_parser().parse_args(["serve"])
+    assert args.dist_port is None  # no coordinator unless asked
+    assert args.dist_host == "127.0.0.1"
+    assert args.allow_remote is False
+
+
+def test_allocate_dist_coordinator_rejects_non_loopback(capsys):
+    code = main([
+        "allocate", "figure1", "--engine", "dist",
+        "--dist-host", "0.0.0.0",
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "non-loopback" in err
+    assert "--allow-remote" in err
+
+
+def test_serve_rejects_non_loopback_without_allow_remote(capsys):
+    # Must fail eagerly (before ever serving) with a clean exit 2.
+    code = main(["serve", "--host", "0.0.0.0"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "non-loopback" in err
+
+
+def test_allocate_dist_end_to_end_matches_serial(capsys):
+    """`repro allocate --engine dist` against one in-process worker is
+    byte-identical to the plain serial CLI run and prints the dist
+    summary line."""
+    import socket
+    import threading
+    import time
+
+    from repro.dist import WorkerHost
+    from repro.errors import ConfigurationError
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+
+    def dial():
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                WorkerHost("127.0.0.1", port).run()
+                return
+            except ConfigurationError:
+                time.sleep(0.05)
+
+    thread = threading.Thread(target=dial, daemon=True)
+    thread.start()
+    argv = ["allocate", "figure1", "--max-rr-sets", "2000", "--dsan"]
+    assert main(argv) == 0
+    serial_out = capsys.readouterr().out
+    code = main(argv + [
+        "--engine", "dist", "--dist-port", str(port), "--wait-workers", "1",
+    ])
+    thread.join(timeout=10.0)
+    assert code == 0
+    dist_out = capsys.readouterr().out
+    assert "coordinator listening on 127.0.0.1:%d" % port in dist_out
+    assert "dist:" in dist_out
+    serial_root = [l for l in serial_out.splitlines() if "dsan" in l]
+    dist_root = [l for l in dist_out.splitlines() if "dsan" in l]
+    assert serial_root and serial_root == dist_root

@@ -1,0 +1,163 @@
+"""Coordinator lifecycle, bind guard, grace, and hostile clients.
+
+Everything protocol-level that does *not* need a real sampling payload:
+binding policy (loopback unless ``allow_remote``), worker waits, the
+zero-worker grace that fails queued futures, close semantics, and the
+promise that a malformed or hostile client connection is dropped and
+counted — never a traceback in a serving thread, never a wedged
+coordinator.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.dist import Coordinator, WorkersUnavailableError, frames
+from repro.errors import ConfigurationError
+
+
+class TestBindGuard:
+    def test_loopback_hosts_accepted_silently(self):
+        for host in ("127.0.0.1", "localhost"):
+            Coordinator(host=host)  # never started; validation is eager
+
+    def test_non_loopback_host_refused(self):
+        with pytest.raises(ConfigurationError, match="non-loopback"):
+            Coordinator(host="0.0.0.0")
+
+    def test_allow_remote_opts_in_with_a_warning(self):
+        with pytest.warns(RuntimeWarning, match="non-loopback"):
+            coordinator = Coordinator(host="0.0.0.0", allow_remote=True)
+        assert coordinator.host == "0.0.0.0"  # validated, never bound here
+
+
+class TestLifecycle:
+    def test_start_binds_ephemeral_port_and_is_idempotent(self):
+        with Coordinator() as coordinator:
+            assert coordinator.started
+            port = coordinator.port
+            assert port > 0
+            assert coordinator.start() is coordinator
+            assert coordinator.port == port
+
+    def test_close_is_idempotent_and_start_after_close_refused(self):
+        coordinator = Coordinator().start()
+        coordinator.close()
+        coordinator.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            coordinator.start()
+
+    def test_wait_for_workers_times_out_cleanly(self):
+        with Coordinator() as coordinator:
+            with pytest.raises(ConfigurationError, match="timed out"):
+                coordinator.wait_for_workers(1, timeout=0.3)
+
+    def test_submit_requires_registered_session(self):
+        with Coordinator() as coordinator:
+            with pytest.raises(ConfigurationError, match="session"):
+                coordinator.submit(999, 0, 0, "blocked")
+
+    def test_submit_after_close_refused(self):
+        coordinator = Coordinator().start()
+        session = coordinator.register_session({"k": 1}, b"payload")
+        coordinator.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            coordinator.submit(session, 0, 0, "blocked")
+
+    def test_stats_shape(self):
+        with Coordinator() as coordinator:
+            stats = coordinator.stats()
+            for key in ("tasks_completed", "retries", "timeouts",
+                        "disconnects", "corrupt_blocks",
+                        "workers_connected", "workers", "queued", "events"):
+                assert key in stats
+
+
+class TestGrace:
+    def test_empty_fleet_fails_queued_futures_after_grace(self):
+        with Coordinator(worker_grace=0.3) as coordinator:
+            session = coordinator.register_session({"k": 1}, b"")
+            future = coordinator.submit(session, 0, 0, "blocked")
+            with pytest.raises(WorkersUnavailableError, match="no workers"):
+                future.result(timeout=10.0)
+
+    def test_close_fails_queued_futures_immediately(self):
+        coordinator = Coordinator().start()
+        session = coordinator.register_session({"k": 1}, b"")
+        future = coordinator.submit(session, 0, 0, "blocked")
+        coordinator.close()
+        with pytest.raises(WorkersUnavailableError, match="closed"):
+            future.result(timeout=5.0)
+
+    def test_released_session_fails_late_submitted_future(self):
+        # A task queued against a session that is released before any
+        # worker picks it up must fail, not hang.
+        with Coordinator(worker_grace=0.3) as coordinator:
+            session = coordinator.register_session({"k": 1}, b"")
+            future = coordinator.submit(session, 0, 0, "blocked")
+            coordinator.release_session(session)
+            with pytest.raises(WorkersUnavailableError):
+                future.result(timeout=10.0)
+
+
+def _await_stat(coordinator, key, minimum, timeout=5.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while True:
+        stats = coordinator.stats()
+        if stats[key] >= minimum:
+            return stats
+        if time.monotonic() > deadline:
+            raise AssertionError(f"{key} never reached {minimum}: {stats}")
+        time.sleep(0.02)
+
+
+class TestHostileClients:
+    def test_garbage_bytes_drop_the_connection_and_count(self):
+        with Coordinator() as coordinator:
+            with socket.create_connection(
+                ("127.0.0.1", coordinator.port), timeout=5.0
+            ) as conn:
+                conn.sendall(b"\x00" * 64)  # not a frame at all
+                # The coordinator closes on us; drain until EOF.
+                conn.settimeout(5.0)
+                while conn.recv(4096):
+                    pass
+            stats = _await_stat(coordinator, "disconnects", 1)
+            assert stats["workers_connected"] == 0  # never handshaken
+
+    def test_wrong_protocol_version_is_refused(self):
+        with Coordinator() as coordinator:
+            with socket.create_connection(
+                ("127.0.0.1", coordinator.port), timeout=5.0
+            ) as conn:
+                frames.send_json(conn, frames.HELLO, {"protocol": 999})
+                conn.settimeout(5.0)
+                while conn.recv(4096):
+                    pass
+            stats = _await_stat(coordinator, "disconnects", 1)
+            assert stats["workers_connected"] == 0
+
+    def test_hostile_client_does_not_wedge_real_traffic(self):
+        """A garbage connection before *and during* real work must not
+        affect the fleet: tasks still complete on the honest worker."""
+        import threading
+
+        from repro.dist import WorkerHost
+
+        with Coordinator() as coordinator:
+            with socket.create_connection(
+                ("127.0.0.1", coordinator.port), timeout=5.0
+            ) as conn:
+                conn.sendall(b"EVIL" * 8)
+            _await_stat(coordinator, "disconnects", 1)
+
+            worker = WorkerHost("127.0.0.1", coordinator.port)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            coordinator.wait_for_workers(1, timeout=10.0)
+            assert len(coordinator.stats()["workers"]) == 1
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()

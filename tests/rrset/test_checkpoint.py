@@ -94,10 +94,11 @@ def _results_identical(a, b) -> bool:
     """Byte-identity of everything the resume contract covers."""
     prov_a = dict(a.allocation.provenance or {})
     prov_b = dict(b.allocation.provenance or {})
-    # Not part of the determinism contract: the checkpoint lineage and
-    # the engine label (serial vs process) describe *how* the run
-    # executed, and cross-engine resumes differ in them by design.
-    for key in ("checkpoint", "engine"):
+    # Not part of the determinism contract: the checkpoint lineage, the
+    # engine label (serial vs process vs dist), the transport, and the
+    # distributed-fleet counters describe *how* the run executed, and
+    # cross-substrate resumes differ in them by design.
+    for key in ("checkpoint", "engine", "transport", "dist"):
         prov_a.pop(key, None)
         prov_b.pop(key, None)
     return (
@@ -484,6 +485,94 @@ class TestKillAndResumeDeterminism:
             ).allocate(problem)
             resumed = _allocator(rng=rng, resume_from=path).allocate(problem)
             assert _results_identical(resumed, reference), rng
+
+
+class TestCrossSubstrateResumeMatrix:
+    """A checkpoint written under one substrate resumes under any
+    other: serial/numpy snapshots land byte-identically when finished
+    by a distributed fleet of 1/2/4 workers (numpy and, when installed,
+    numba), and a distributed snapshot finishes serially.  Counter-based
+    chunks make the shards substrate-invariant; the checkpoint matches
+    on the contract (seed/rng/chunk size), never the topology."""
+
+    @staticmethod
+    def _backends():
+        from repro.rrset.backends import resolve_backend
+
+        backends = ["numpy"]
+        try:
+            resolve_backend("numba")
+        except ConfigurationError:
+            pass
+        else:
+            backends.append("numba")
+        return backends
+
+    @staticmethod
+    def _spawn_fleet(coordinator, count: int, backend: str):
+        import threading
+
+        from repro.dist import WorkerHost
+
+        workers = [
+            WorkerHost(coordinator.host, coordinator.port, backend=backend)
+            for _ in range(count)
+        ]
+        threads = [
+            threading.Thread(target=worker.run, daemon=True)
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        coordinator.wait_for_workers(count, timeout=10.0)
+        return threads
+
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    def test_serial_checkpoint_finishes_on_a_distributed_fleet(
+        self, tmp_path, num_workers
+    ):
+        from repro.dist import Coordinator
+
+        problem = figure1_problem()
+        kwargs = dict(chunk_size=64)
+        reference = _allocator(**kwargs).allocate(problem)
+        k = max(1, reference.stats["iterations"] // 2)
+        for backend in self._backends():
+            path = tmp_path / f"ck-{num_workers}-{backend}.npz"
+            _allocator(
+                checkpoint_path=path, max_iterations=k, **kwargs
+            ).allocate(problem)
+            with Coordinator() as coordinator:
+                threads = self._spawn_fleet(coordinator, num_workers, backend)
+                resumed = _allocator(
+                    engine="dist", coordinator=coordinator,
+                    resume_from=path, **kwargs,
+                ).allocate(problem)
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert resumed.stats["resumed_at_iteration"] == k
+            assert _results_identical(resumed, reference), (
+                num_workers, backend,
+            )
+
+    def test_distributed_checkpoint_finishes_serially(self, tmp_path):
+        from repro.dist import Coordinator
+
+        problem = figure1_problem()
+        path = tmp_path / "ck.npz"
+        kwargs = dict(chunk_size=64)
+        reference = _allocator(**kwargs).allocate(problem)
+        k = max(1, reference.stats["iterations"] // 2)
+        with Coordinator() as coordinator:
+            threads = self._spawn_fleet(coordinator, 2, "numpy")
+            _allocator(
+                engine="dist", coordinator=coordinator,
+                checkpoint_path=path, max_iterations=k, **kwargs,
+            ).allocate(problem)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        resumed = _allocator(resume_from=path, **kwargs).allocate(problem)
+        assert _results_identical(resumed, reference)
 
 
 class TestTruncationKnob:
